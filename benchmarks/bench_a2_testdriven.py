@@ -1,0 +1,49 @@
+"""A2 — ablation: test-driven operations (the framework's raison d'etre).
+
+Same testbed, same fault arrivals, one month: with the framework ON,
+faults get detected and fixed and the active-fault count stays low; with
+it OFF (the pre-framework world of slide 10, "very few bugs are
+reported"), faults accumulate unboundedly and experiments silently run on
+broken hardware.
+"""
+
+from repro.core import CampaignConfig, run_campaign
+from repro.oar import WorkloadConfig
+from repro.testbed import CLUSTER_SPECS
+
+from conftest import paper_row, print_table
+
+_CLUSTERS = ("paravance", "grisou", "grimoire", "graoully", "nova",
+             "taurus", "suno", "chetemi")
+
+
+def _run(framework_enabled: bool):
+    specs = [s for s in CLUSTER_SPECS if s.name in _CLUSTERS]
+    _, report = run_campaign(CampaignConfig(
+        seed=9, months=1.0, specs=specs,
+        backlog_faults=6,
+        fault_mean_interarrival_s=43_200.0,
+        framework_enabled=framework_enabled,
+        workload=WorkloadConfig(target_utilization=0.4),
+    ))
+    return report
+
+
+def bench_a2_testdriven(benchmark):
+    with_fw = benchmark.pedantic(lambda: _run(True), rounds=1, iterations=1)
+    without = _run(False)
+    rows = [
+        paper_row("active faults after 1 month (framework ON)", "low",
+                  with_fw.faults_active_end),
+        paper_row("active faults after 1 month (framework OFF)", "grows",
+                  without.faults_active_end),
+        paper_row("faults detected (ON)", "-", with_fw.faults_detected),
+        paper_row("faults detected (OFF)", 0, without.faults_detected),
+        paper_row("bugs filed (ON)", "-", with_fw.bugs_filed),
+        paper_row("bugs filed (OFF)", 0, without.bugs_filed),
+    ]
+    print_table("A2: test-driven operations vs no testing (slides 10/23)", rows)
+    assert without.faults_detected == 0
+    assert without.bugs_filed == 0
+    assert with_fw.faults_detected > 0
+    assert with_fw.faults_active_end < without.faults_active_end

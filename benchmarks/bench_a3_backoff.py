@@ -1,0 +1,62 @@
+"""A3 — ablation of the external scheduler's policies (slide 17).
+
+Compares, on a busy testbed over one week, three launcher designs:
+
+* the paper's: check resources availability first + exponential backoff;
+* no availability check (submit blindly, rely on immediate-or-cancel):
+  many UNSTABLE builds waste Jenkins workers;
+* no backoff (constant aggressive retry): even more wasted attempts.
+"""
+
+from repro.checksuite import family_by_name
+from repro.core import build_framework
+from repro.oar import WorkloadConfig
+from repro.scheduling import SchedulerPolicy
+from repro.testbed import CLUSTER_SPECS
+from repro.util import HOUR, WEEK
+
+from conftest import paper_row, print_table
+
+_CLUSTERS = ("paravance", "grisou", "parasilo")
+
+
+def _run(policy: SchedulerPolicy, seed=15):
+    specs = [s for s in CLUSTER_SPECS if s.name in _CLUSTERS]
+    fw = build_framework(
+        seed=seed,
+        specs=specs,
+        families=[family_by_name("multireboot"), family_by_name("refapi")],
+        policy=policy,
+        workload_config=WorkloadConfig(target_utilization=0.7),
+    )
+    fw.start(faults=False)
+    fw.run_until(WEEK)
+    records = fw.history.records
+    unstable = sum(1 for r in records if r.status == "UNSTABLE")
+    useful = sum(1 for r in records if r.status in ("SUCCESS", "FAILURE"))
+    blocked = fw.scheduler.stats()["total_blocked"]
+    return useful, unstable, blocked
+
+
+def bench_a3_backoff(benchmark):
+    paper = benchmark.pedantic(
+        lambda: _run(SchedulerPolicy()), rounds=1, iterations=1)
+    no_check = _run(SchedulerPolicy(check_resources_first=False,
+                                    max_concurrent_per_site=4))
+    no_backoff = _run(SchedulerPolicy(check_resources_first=False,
+                                      max_concurrent_per_site=4,
+                                      backoff_initial_s=0.25 * HOUR,
+                                      backoff_factor=1.0))
+    rows = [
+        paper_row("paper policy: useful/unstable builds", "-",
+                  f"{paper[0]}/{paper[1]}"),
+        paper_row("no availability check: useful/unstable", "-",
+                  f"{no_check[0]}/{no_check[1]}"),
+        paper_row("no backoff either: useful/unstable", "-",
+                  f"{no_backoff[0]}/{no_backoff[1]}"),
+    ]
+    print_table("A3: scheduler policy ablation (slide 17)", rows)
+    # shape: the paper's design wastes (almost) no builds...
+    assert paper[1] <= min(no_check[1], no_backoff[1])
+    # ...while constant retry without backoff wastes the most
+    assert no_backoff[1] >= no_check[1]

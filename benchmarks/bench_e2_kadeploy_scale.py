@@ -1,0 +1,49 @@
+"""E2 — slide 8: "200 nodes deployed in ~5 minutes" (scalability figure).
+
+Regenerates the deployment-time-vs-node-count series.  The shape to hold:
+time grows far slower than linearly (chain broadcast), and the 200-node
+point lands in the minutes-not-hours band around the paper's ~5 minutes.
+"""
+
+from repro.faults import ServiceHealth
+from repro.kadeploy import Kadeploy
+from repro.nodes import MachinePark
+from repro.testbed import build_grid5000
+from repro.util import MINUTE, RngStreams, Simulator
+
+from conftest import paper_row, print_table
+
+_POOL_CLUSTERS = ("paravance", "grisou", "parasilo", "ecotype", "nova",
+                  "econome", "graoully", "grele")
+
+
+def _deploy(n_nodes: int, seed: int = 7) -> float:
+    sim = Simulator()
+    rngs = RngStreams(seed=seed)
+    testbed = build_grid5000()
+    machines = MachinePark.from_testbed(sim, testbed, rngs)
+    kadeploy = Kadeploy(sim, machines, ServiceHealth(), rngs)
+    pool = [n.uid for c in _POOL_CLUSTERS for n in testbed.cluster(c).nodes]
+    holder = {}
+
+    def driver():
+        holder["r"] = yield sim.process(kadeploy.deploy(pool[:n_nodes],
+                                                        "debian9-min"))
+
+    sim.process(driver())
+    sim.run()
+    assert holder["r"].success_rate > 0.9
+    return holder["r"].duration_s
+
+
+def bench_e2_kadeploy_scale(benchmark):
+    series = {n: _deploy(n) for n in (10, 25, 50, 100)}
+    series[200] = benchmark.pedantic(lambda: _deploy(200), rounds=1, iterations=1)
+    rows = [paper_row(f"deploy {n} nodes (minutes)",
+                      "~5" if n == 200 else "-", f"{t / MINUTE:.1f}")
+            for n, t in series.items()]
+    print_table("E2: Kadeploy scalability (slide 8 figure)", rows)
+    # shape: near-flat scaling (20x nodes, far less than 4x time)...
+    assert series[200] < 4 * series[10]
+    # ...and the headline point in the right band
+    assert 3 * MINUTE < series[200] < 12 * MINUTE

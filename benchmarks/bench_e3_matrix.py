@@ -1,0 +1,53 @@
+"""E3 — slide 15: Matrix Project, 14 images x 32 clusters = 448 cells.
+
+Regenerates the test_environments matrix and runs a full matrix pass on a
+(stubbed-runner) Jenkins server to exercise expansion, queueing over 16
+executors, and Matrix Reloaded retrying exactly the failed subset.
+"""
+
+from repro.ci import BuildStatus, JenkinsServer, MatrixProject, matrix_reloaded
+from repro.kadeploy import REFERENCE_IMAGES
+from repro.testbed import build_grid5000
+from repro.util import Simulator
+
+from conftest import paper_row, print_table
+
+
+def _run_matrix():
+    sim = Simulator()
+    server = JenkinsServer(sim, executors=16)
+    testbed = build_grid5000()
+    broken = {("centos7-min", "grisou"), ("debian8-xen", "azur")}
+
+    def runner(build):
+        yield sim.timeout(900.0)
+        cell = (build.parameters["image"], build.parameters["cluster"])
+        return BuildStatus.FAILURE if cell in broken else BuildStatus.SUCCESS
+
+    server.register_job("test_environments", runner)
+    project = MatrixProject("test_environments", axes={
+        "image": [img.name for img in REFERENCE_IMAGES],
+        "cluster": [c.uid for c in testbed.iter_clusters()],
+    })
+    builds = project.trigger_all(server)
+    sim.run()
+    retries = matrix_reloaded(project, server)
+    sim.run()
+    return project, builds, retries
+
+
+def bench_e3_matrix(benchmark):
+    project, builds, retries = benchmark.pedantic(_run_matrix, rounds=1,
+                                                  iterations=1)
+    failed = sum(1 for b in builds if b.status == BuildStatus.FAILURE)
+    rows = [
+        paper_row("images", 14, len(project.axes["image"])),
+        paper_row("clusters", 32, len(project.axes["cluster"])),
+        paper_row("configurations (14 x 32)", 448, project.cell_count),
+        paper_row("builds executed", 448, len(builds)),
+        paper_row("matrix-reloaded retries (failed only)", "-", len(retries)),
+    ]
+    print_table("E3: test_environments matrix (slide 15)", rows)
+    assert project.cell_count == 448
+    assert len(builds) == 448
+    assert len(retries) == failed == 2

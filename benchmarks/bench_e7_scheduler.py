@@ -1,0 +1,65 @@
+"""E7 — slides 16-17: scheduling on a heavily-used testbed.
+
+Regenerates the motivating observation: on a contended testbed, a 1-node
+job starts almost immediately while a whole-cluster (nodes=ALL) request
+waits orders of magnitude longer — "waiting for all nodes of a given
+cluster to be available can take weeks".  Also demonstrates the
+immediate-or-cancel contract the external scheduler relies on.
+"""
+
+from repro.faults import ServiceHealth
+from repro.nodes import MachinePark
+from repro.oar import JobState, OarDatabase, OarServer, WorkloadConfig, WorkloadGenerator
+from repro.testbed import CLUSTER_SPECS, ReferenceApi, build_grid5000
+from repro.util import DAY, HOUR, RngStreams, Simulator
+
+from conftest import paper_row, print_table
+
+_CLUSTERS = ("paravance", "grisou", "parasilo")
+
+
+def _contended_world(seed=3, utilization=0.75):
+    specs = [s for s in CLUSTER_SPECS if s.name in _CLUSTERS]
+    testbed = build_grid5000(specs)
+    sim = Simulator()
+    rngs = RngStreams(seed=seed)
+    park = MachinePark.from_testbed(sim, testbed, rngs)
+    oar = OarServer(sim, OarDatabase(ReferenceApi(testbed), ServiceHealth()), park)
+    workload = WorkloadGenerator(
+        sim, oar, testbed, rngs,
+        WorkloadConfig(target_utilization=utilization))
+    workload.start()
+    sim.run(until=2 * DAY)  # warm the queue up
+    return sim, oar
+
+
+def _scenario():
+    sim, oar = _contended_world()
+    single = oar.submit("cluster='paravance'/nodes=1,walltime=1",
+                        auto_duration=600.0)
+    whole = oar.submit("cluster='paravance'/nodes=ALL,walltime=2",
+                       auto_duration=600.0)
+    immediate = oar.submit("cluster='paravance'/nodes=ALL,walltime=2",
+                           immediate=True)
+    sim.run(until=sim.now + 21 * DAY)
+    return single, whole, immediate
+
+
+def bench_e7_scheduler(benchmark):
+    single, whole, immediate = benchmark.pedantic(_scenario, rounds=1,
+                                                  iterations=1)
+    single_wait = single.wait_time_s if single.wait_time_s is not None else float("inf")
+    whole_wait = whole.wait_time_s if whole.wait_time_s is not None else float("inf")
+    rows = [
+        paper_row("1-node job wait", "~immediate",
+                  f"{single_wait / HOUR:.2f}h"),
+        paper_row("whole-cluster (ALL) job wait", "days-weeks",
+                  f"{whole_wait / DAY:.1f}d"),
+        paper_row("immediate-or-cancel on busy cluster", "cancelled",
+                  immediate.state.value),
+    ]
+    print_table("E7: scheduling on a heavily-used testbed (slides 16-17)", rows)
+    # shape: whole-cluster requests wait far longer than single-node ones
+    assert whole_wait > 4 * single_wait
+    assert whole_wait > 12 * HOUR
+    assert immediate.state == JobState.CANCELLED

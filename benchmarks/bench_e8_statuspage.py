@@ -1,0 +1,51 @@
+"""E8 — slides 18-19: the external status page.
+
+Runs the framework for one simulated week on a faulty testbed and
+regenerates the three views the paper requires: per-test across clusters,
+per-cluster across tests, and the historical success trend.
+"""
+
+from repro.analysis import StatusPage
+from repro.core import build_framework
+from repro.oar import WorkloadConfig
+from repro.testbed import CLUSTER_SPECS
+from repro.util import WEEK
+
+from conftest import paper_row, print_table
+
+_CLUSTERS = ("grisou", "grimoire", "graoully", "nova", "taurus")
+
+
+def _run_week():
+    specs = [s for s in CLUSTER_SPECS if s.name in _CLUSTERS]
+    fw = build_framework(seed=3, specs=specs,
+                         workload_config=WorkloadConfig(target_utilization=0.3))
+    for _ in range(8):
+        fw.injector.inject()
+    fw.start()
+    fw.run_until(WEEK)
+    return fw
+
+
+def bench_e8_statuspage(benchmark):
+    fw = benchmark.pedantic(_run_week, rounds=1, iterations=1)
+    page = StatusPage(fw.history, fw.testbed)
+    rendered = page.render(now=fw.sim.now)
+    print()
+    print(rendered)
+    print(page.render_trend(until=fw.sim.now))
+    grid = page.grid()
+    per_cluster = page.per_cluster_status("grisou")
+    rows = [
+        paper_row("families on the page", 16, len(grid)),
+        paper_row("per-test view works", "yes",
+                  "yes" if page.per_family_status("refapi") else "no"),
+        paper_row("per-cluster view works", "yes",
+                  "yes" if per_cluster else "no"),
+        paper_row("historical trend points", ">0",
+                  len(fw.history.weekly_success_series(WEEK))),
+    ]
+    print_table("E8: status page views (slide 18 requirements)", rows)
+    assert len(grid) >= 12  # most families ran within the week
+    assert per_cluster
+    assert "legend" in rendered

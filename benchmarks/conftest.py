@@ -1,0 +1,39 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one table/figure of the paper and prints the rows
+next to the paper's numbers (``-s`` shows them; they are also asserted on
+*shape*, not absolute values).  E5/E6 share one five-month campaign via a
+session fixture so the expensive closed-loop simulation runs once.
+
+``REPRO_CAMPAIGN_MONTHS`` (default 5) shrinks the shared campaign when a
+quick pass is needed.
+"""
+
+import os
+
+import pytest
+
+
+def paper_row(label: str, paper, measured) -> str:
+    return f"  {label:<44} paper: {paper!s:>12}   measured: {measured!s:>12}"
+
+
+def print_table(title: str, rows: list[str]) -> None:
+    print()
+    print(f"== {title} ==")
+    for row in rows:
+        print(row)
+
+
+@pytest.fixture(scope="session")
+def campaign_months() -> float:
+    return float(os.environ.get("REPRO_CAMPAIGN_MONTHS", "5"))
+
+
+@pytest.fixture(scope="session")
+def five_month_campaign(campaign_months):
+    """One full-scale closed-loop campaign, shared by E5 and E6."""
+    from repro.core import CampaignConfig, run_campaign
+
+    fw, report = run_campaign(CampaignConfig(seed=1, months=campaign_months))
+    return fw, report

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: verify a node against the Reference API with g5k-checks.
+
+Builds the paper-exact synthetic Grid'5000 (8 sites / 32 clusters /
+894 nodes / 8490 cores), silently flips a BIOS option on one node — the
+classic slide-13 bug — and shows how g5k-checks pinpoints the divergence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.checks import run_g5k_checks
+from repro.faults import FaultContext, FaultInjector, FaultKind, ServiceHealth
+from repro.nodes import MachinePark
+from repro.testbed import ReferenceApi, build_grid5000
+from repro.util import RngStreams, Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+    rngs = RngStreams(seed=42)
+    testbed = build_grid5000()
+    print(f"testbed: {testbed.site_count} sites, {testbed.cluster_count} clusters, "
+          f"{testbed.node_count} nodes, {testbed.total_cores} cores")
+
+    refapi = ReferenceApi(testbed)
+    machines = MachinePark.from_testbed(sim, testbed, rngs)
+
+    # A pristine node passes.
+    report = run_g5k_checks(machines["graphene-42"], refapi)
+    print(f"\ngraphene-42 before any fault: {report.summary()}")
+
+    # A maintenance operation silently re-enables C-states somewhere...
+    ctx = FaultContext.build(machines, ServiceHealth(), ("debian8-std",))
+    injector = FaultInjector(sim, ctx, rngs)
+    fault = injector.inject(FaultKind.CPU_CSTATES)
+    print(f"\ninjected fault: {fault.kind.value} on {fault.target}")
+
+    # ... and g5k-checks catches it at the next boot.
+    report = run_g5k_checks(machines[fault.target], refapi)
+    print(f"\n{report.summary()}")
+
+    # The operator fixes it; the node verifies clean again.
+    injector.fix(fault)
+    report = run_g5k_checks(machines[fault.target], refapi)
+    print(f"\nafter the fix: {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""The external status page (slides 18-19).
+
+Runs the framework for two simulated weeks with a handful of injected
+faults, then renders the per-test x per-cluster grid and the historical
+success trend — the views the paper's requirements call for.
+
+Run:  python examples/status_page.py
+"""
+
+from repro.analysis import StatusPage
+from repro.core import build_framework
+from repro.util import WEEK
+
+
+def main() -> None:
+    fw = build_framework(seed=3)
+    for _ in range(12):  # an unhealthy testbed makes an interesting page
+        fw.injector.inject()
+    fw.start()
+    print("simulating two weeks of continuous testing...")
+    fw.run_until(2 * WEEK)
+
+    page = StatusPage(fw.history, fw.testbed)
+    print()
+    print(page.render(now=fw.sim.now))
+    print()
+    print(page.render_trend(until=fw.sim.now))
+    print()
+    print(f"bugs filed so far: {fw.tracker.filed_count} "
+          f"(fixed: {fw.tracker.fixed_count})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro: a full reproduction of *"Towards Trustworthy Testbeds thanks to
+Throughout Testing"* (Lucas Nussbaum, REPPAR @ IPDPS 2017).
+
+The package simulates the Grid'5000 testbed (8 sites / 32 clusters /
+894 nodes / 8490 cores) and the complete testing framework the paper
+describes: g5k-checks, OAR, Kadeploy, KaVLAN, monitoring, a Jenkins-shaped
+CI server, the external availability-aware test scheduler, 16 test-script
+families (751 configurations) and the closed bug-filing/fixing loop.
+
+Quickstart::
+
+    from repro import build_framework
+    fw = build_framework(seed=1)
+    fw.start()
+    fw.run_until(7 * 86400)          # one simulated week
+    print(fw.tracker.filed_count, "bugs filed")
+"""
+
+from .core import (
+    CampaignConfig,
+    CampaignReport,
+    TestingFramework,
+    build_framework,
+    run_campaign,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_framework",
+    "TestingFramework",
+    "CampaignConfig",
+    "CampaignReport",
+    "run_campaign",
+    "__version__",
+]

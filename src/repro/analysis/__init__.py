@@ -1,0 +1,6 @@
+"""Result analysis: build history, status page, reliability trends."""
+
+from .history import BuildHistory, BuildRecord
+from .statuspage import CellStatus, StatusPage
+
+__all__ = ["BuildHistory", "BuildRecord", "StatusPage", "CellStatus"]

@@ -1,0 +1,118 @@
+"""The external status page (slides 18-19).
+
+Renders the grid the paper shows: rows = test families, columns = clusters
+(or sites for site-scoped families), one glyph per cell for the latest
+result, plus per-test and per-cluster rollups and the historical trend.
+Built exclusively on :class:`~repro.analysis.history.BuildHistory` (which
+is fed from Jenkins results), mirroring "external status page that uses
+Jenkins' REST API".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..testbed.description import TestbedDescription
+from ..util.simclock import format_time
+from .history import BuildHistory
+
+__all__ = ["CellStatus", "StatusPage"]
+
+_GLYPHS = {
+    "SUCCESS": "O",
+    "FAILURE": "X",
+    "UNSTABLE": "~",
+    "ABORTED": "!",
+    None: ".",
+}
+
+
+@dataclass(frozen=True)
+class CellStatus:
+    family: str
+    column: str  # cluster or site uid
+    status: Optional[str]  # latest result, None = never ran
+    finished_at: Optional[float]
+
+
+class StatusPage:
+    """Aggregated views over the build history."""
+
+    def __init__(self, history: BuildHistory, testbed: TestbedDescription):
+        self.history = history
+        self.testbed = testbed
+
+    # -- grids ------------------------------------------------------------------
+
+    def grid(self, since: float = 0.0) -> dict[str, dict[str, CellStatus]]:
+        """family -> column (cluster/site) -> latest cell status.
+
+        A family touching several cells in one column (environments has 14
+        images per cluster) rolls up pessimistically: any FAILURE beats
+        UNSTABLE beats SUCCESS.
+        """
+        severity = {"FAILURE": 3, "ABORTED": 2, "UNSTABLE": 1, "SUCCESS": 0}
+        out: dict[str, dict[str, CellStatus]] = {}
+        for (family, _key), record in self.history.latest_per_cell(since).items():
+            column = record.cluster if record.cluster is not None else record.site
+            row = out.setdefault(family, {})
+            cell = row.get(column)
+            if cell is None or severity[record.status] > severity.get(cell.status, -1):
+                row[column] = CellStatus(family, column, record.status,
+                                         record.finished_at)
+        return out
+
+    def per_family_status(self, family: str, since: float = 0.0
+                          ) -> dict[str, Optional[str]]:
+        """One test across all sites/clusters (requirement 1 of slide 18)."""
+        return {col: cell.status
+                for col, cell in self.grid(since).get(family, {}).items()}
+
+    def per_cluster_status(self, cluster: str, since: float = 0.0
+                           ) -> dict[str, Optional[str]]:
+        """All tests for one cluster (requirement 2 of slide 18)."""
+        site = self.testbed.cluster(cluster).site
+        out = {}
+        for family, row in self.grid(since).items():
+            if cluster in row:
+                out[family] = row[cluster].status
+            elif site in row:  # site-scoped families cover the cluster too
+                out[family] = row[site].status
+        return out
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self, since: float = 0.0, now: Optional[float] = None) -> str:
+        """ASCII version of the slide-19 grid."""
+        grid = self.grid(since)
+        families = sorted(grid)
+        columns = [c.uid for c in self.testbed.iter_clusters()] + \
+                  [s.uid for s in self.testbed.sites]
+        used_columns = [c for c in columns
+                        if any(c in grid[f] for f in families)]
+        name_width = max((len(f) for f in families), default=8)
+        lines = []
+        if now is not None:
+            lines.append(f"Status page @ {format_time(now)}")
+        header = " " * name_width + " " + " ".join(c[:8].ljust(8) for c in used_columns)
+        lines.append(header)
+        for family in families:
+            row = grid[family]
+            glyphs = []
+            for column in used_columns:
+                cell = row.get(column)
+                glyphs.append(_GLYPHS[cell.status if cell else None].ljust(8))
+            lines.append(family.ljust(name_width) + " " + " ".join(glyphs))
+        lines.append("")
+        lines.append("legend: O=success  X=failure  ~=unstable(no resources)  "
+                     "!=aborted  .=never ran")
+        return "\n".join(lines)
+
+    def render_trend(self, until: float) -> str:
+        """Weekly success-rate bars (the historical perspective)."""
+        lines = ["weekly success rate:"]
+        for week_start, rate in self.history.weekly_success_series(until):
+            bar = "#" * int(round(rate * 40))
+            lines.append(f"  {format_time(week_start)[:6]}  {rate:6.1%} {bar}")
+        return "\n".join(lines)

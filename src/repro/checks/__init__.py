@@ -1,0 +1,5 @@
+"""g5k-checks: per-node verification of description vs acquired facts."""
+
+from .g5kchecks import Mismatch, NodeCheckReport, expected_facts, run_g5k_checks
+
+__all__ = ["Mismatch", "NodeCheckReport", "expected_facts", "run_g5k_checks"]

@@ -1,0 +1,42 @@
+"""The sixteen test-script families (751 configurations, slide 21)."""
+
+from .base import CheckContext, CheckFamily, Finding, TestOutcome
+from .deploy_checks import (
+    EnvironmentsCheck,
+    MultiDeployCheck,
+    MultiRebootCheck,
+    ParallelDeployCheck,
+    StdenvCheck,
+)
+from .description_checks import DellBiosCheck, OarPropertiesCheck, RefapiCheck
+from .hardware_checks import DiskCheck, MpigraphCheck
+from .infra_checks import ConsoleCheck, KavlanCheck, KwapiCheck
+from .registry import ALL_FAMILIES, coverage_table, family_by_name, total_configurations
+from .service_checks import CmdlineCheck, OarStateCheck, SidApiCheck
+
+__all__ = [
+    "Finding",
+    "TestOutcome",
+    "CheckContext",
+    "CheckFamily",
+    "RefapiCheck",
+    "OarPropertiesCheck",
+    "DellBiosCheck",
+    "OarStateCheck",
+    "CmdlineCheck",
+    "SidApiCheck",
+    "EnvironmentsCheck",
+    "StdenvCheck",
+    "ParallelDeployCheck",
+    "MultiRebootCheck",
+    "MultiDeployCheck",
+    "ConsoleCheck",
+    "KavlanCheck",
+    "KwapiCheck",
+    "MpigraphCheck",
+    "DiskCheck",
+    "ALL_FAMILIES",
+    "family_by_name",
+    "coverage_table",
+    "total_configurations",
+]

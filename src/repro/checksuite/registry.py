@@ -1,0 +1,57 @@
+"""Registry of the sixteen families and the slide-21 coverage table."""
+
+from __future__ import annotations
+
+from ..testbed.description import TestbedDescription
+from .base import CheckFamily
+from .deploy_checks import (
+    EnvironmentsCheck,
+    MultiDeployCheck,
+    MultiRebootCheck,
+    ParallelDeployCheck,
+    StdenvCheck,
+)
+from .description_checks import DellBiosCheck, OarPropertiesCheck, RefapiCheck
+from .hardware_checks import DiskCheck, MpigraphCheck
+from .infra_checks import ConsoleCheck, KavlanCheck, KwapiCheck
+from .service_checks import CmdlineCheck, OarStateCheck, SidApiCheck
+
+__all__ = ["ALL_FAMILIES", "family_by_name", "coverage_table", "total_configurations"]
+
+#: slide-21 order.
+ALL_FAMILIES: tuple[CheckFamily, ...] = (
+    RefapiCheck(),
+    OarPropertiesCheck(),
+    DellBiosCheck(),
+    OarStateCheck(),
+    CmdlineCheck(),
+    SidApiCheck(),
+    EnvironmentsCheck(),
+    StdenvCheck(),
+    ParallelDeployCheck(),
+    MultiRebootCheck(),
+    MultiDeployCheck(),
+    ConsoleCheck(),
+    KavlanCheck(),
+    KwapiCheck(),
+    MpigraphCheck(),
+    DiskCheck(),
+)
+
+_BY_NAME = {f.name: f for f in ALL_FAMILIES}
+
+
+def family_by_name(name: str) -> CheckFamily:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown test family: {name!r}") from None
+
+
+def coverage_table(testbed: TestbedDescription) -> dict[str, int]:
+    """Configurations per family — the slide-21 table (sums to 751)."""
+    return {f.name: len(f.configurations(testbed)) for f in ALL_FAMILIES}
+
+
+def total_configurations(testbed: TestbedDescription) -> int:
+    return sum(coverage_table(testbed).values())

@@ -1,0 +1,18 @@
+"""Jenkins-shaped CI server: jobs, builds, queue, matrix projects, API."""
+
+from .api import JenkinsApi
+from .job import Build, BuildStatus, JobDefinition
+from .matrix import MatrixProject, matrix_reloaded
+from .server import JenkinsServer
+from .triggers import PeriodicTrigger
+
+__all__ = [
+    "BuildStatus",
+    "Build",
+    "JobDefinition",
+    "JenkinsServer",
+    "MatrixProject",
+    "matrix_reloaded",
+    "JenkinsApi",
+    "PeriodicTrigger",
+]

@@ -1,0 +1,51 @@
+"""Time-based build triggers (Jenkins' built-in "cron on steroids").
+
+Slide 16 notes that Jenkins' basic time-based scheduling is *not
+sufficient* for resource-hungry tests — that is what the external
+scheduler (:mod:`repro.scheduling`) is for — but periodic triggers remain
+the right tool for cheap software-centric checks, and they serve as the
+baseline in the scheduling ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..util.events import Simulator
+from .server import JenkinsServer
+
+__all__ = ["PeriodicTrigger"]
+
+
+class PeriodicTrigger:
+    """Trigger a job every ``period_s`` seconds."""
+
+    def __init__(self, sim: Simulator, server: JenkinsServer, job_name: str,
+                 period_s: float,
+                 parameters_fn: Optional[Callable[[], dict[str, Any]]] = None,
+                 initial_delay_s: float = 0.0):
+        self.sim = sim
+        self.server = server
+        self.job_name = job_name
+        self.period_s = period_s
+        self.parameters_fn = parameters_fn
+        self.initial_delay_s = initial_delay_s
+        self.fired = 0
+        self._running = False
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self.sim.process(self._run(), name=f"cron-{self.job_name}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self):
+        if self.initial_delay_s:
+            yield self.sim.timeout(self.initial_delay_s)
+        while self._running:
+            params = self.parameters_fn() if self.parameters_fn else {}
+            self.server.trigger(self.job_name, parameters=params, cause="timer")
+            self.fired += 1
+            yield self.sim.timeout(self.period_s)

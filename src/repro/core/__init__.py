@@ -1,0 +1,17 @@
+"""The paper's contribution: the testing framework and campaign loop."""
+
+from .bugtracker import Bug, BugStatus, BugTracker, OperatorTeam
+from .campaign import CampaignConfig, CampaignReport, run_campaign
+from .framework import TestingFramework, build_framework
+
+__all__ = [
+    "Bug",
+    "BugStatus",
+    "BugTracker",
+    "OperatorTeam",
+    "TestingFramework",
+    "build_framework",
+    "CampaignConfig",
+    "CampaignReport",
+    "run_campaign",
+]

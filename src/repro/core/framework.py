@@ -1,0 +1,237 @@
+"""The testbed testing framework: full wiring of every subsystem.
+
+:func:`build_framework` assembles the world of the paper:
+
+* the testbed substrate (descriptions, Reference API, topology, machines);
+* the services users see (OAR + synthetic workload, Kadeploy, KaVLAN,
+  monitoring);
+* the fault injector that silently breaks things;
+* Jenkins with one job per test family, the external scheduler that
+  triggers builds, and the bug tracker + operator team that close the
+  loop ("test-driven operations", slide 23).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..checksuite.base import CheckContext, CheckFamily, TestOutcome
+from ..checksuite.registry import ALL_FAMILIES
+from ..ci.api import JenkinsApi
+from ..ci.job import BuildStatus
+from ..ci.server import JenkinsServer
+from ..faults.catalog import FaultContext
+from ..faults.injector import FaultInjector
+from ..faults.services import ServiceHealth
+from ..kadeploy.deployment import Kadeploy
+from ..kadeploy.images import REFERENCE_IMAGES
+from ..kavlan.manager import KavlanManager
+from ..monitoring.probes import Ganglia, Kwapi
+from ..nodes.machine import MachinePark, PowerState
+from ..oar.database import OarDatabase
+from ..oar.server import OarServer
+from ..oar.workload import WorkloadConfig, WorkloadGenerator
+from ..scheduling.launcher import ExternalScheduler
+from ..scheduling.pernode import PerNodeVariant
+from ..scheduling.policies import SchedulerPolicy
+from ..testbed.description import TestbedDescription
+from ..testbed.generator import CLUSTER_SPECS, ClusterSpec, build_grid5000
+from ..testbed.refapi import ReferenceApi
+from ..testbed.topology import build_topology
+from ..util.events import Simulator
+from ..util.rng import RngStreams
+from ..analysis.history import BuildHistory
+from .bugtracker import BugTracker, OperatorTeam
+
+__all__ = ["TestingFramework", "build_framework"]
+
+#: Janitor sweep period (reboot crashed, unallocated nodes).
+_JANITOR_PERIOD_S = 1200.0
+#: Gremlin sweep period (spontaneous crashes for faulty machines).
+_GREMLIN_PERIOD_S = 1800.0
+#: Daily housekeeping (Gantt purge).
+_HOUSEKEEPING_PERIOD_S = 86_400.0
+
+
+@dataclass
+class TestingFramework:
+    """Handle on the fully-wired simulated world."""
+
+    sim: Simulator
+    rngs: RngStreams
+    testbed: TestbedDescription
+    refapi: ReferenceApi
+    machines: MachinePark
+    services: ServiceHealth
+    oardb: OarDatabase
+    oar: OarServer
+    workload: WorkloadGenerator
+    kadeploy: Kadeploy
+    kavlan: KavlanManager
+    kwapi: Kwapi
+    ganglia: Ganglia
+    fault_ctx: FaultContext
+    injector: FaultInjector
+    jenkins: JenkinsServer
+    api: JenkinsApi
+    tracker: BugTracker
+    operators: OperatorTeam
+    scheduler: ExternalScheduler
+    checkctx: CheckContext
+    families: list[CheckFamily]
+    history: BuildHistory
+    outcomes: list[TestOutcome] = field(default_factory=list)
+    _started: bool = False
+
+    @property
+    def ground_truth(self):
+        return self.injector.ground_truth
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, workload: bool = True, faults: bool = True,
+              testing: bool = True) -> None:
+        """Start all background processes (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        if workload:
+            self.workload.start()
+        if faults:
+            self.injector.start()
+        if testing:
+            self.scheduler.start()
+        self.sim.process(self._janitor(), name="janitor")
+        self.sim.process(self._gremlin(), name="gremlin")
+        self.sim.process(self._housekeeping(), name="housekeeping")
+
+    def run_until(self, t: float) -> None:
+        self.sim.run(until=t)
+
+    # -- background operations ----------------------------------------------------
+
+    def _janitor(self):
+        """Operators' phoenix: reboot crashed nodes not held by a job."""
+        rng = self.rngs.stream("janitor")
+        while True:
+            yield self.sim.timeout(_JANITOR_PERIOD_S * float(rng.uniform(0.9, 1.1)))
+            busy = {u for j in self.oar.running_jobs() for u in j.assigned_nodes}
+            for machine in self.machines.machines.values():
+                if machine.state == PowerState.CRASHED and machine.uid not in busy:
+                    self.sim.process(machine.boot())
+
+    def _gremlin(self):
+        """Spontaneous crashes on machines with an active random-reboot
+        fault (crash_mtbf_s set)."""
+        rng = self.rngs.stream("gremlin")
+        while True:
+            yield self.sim.timeout(_GREMLIN_PERIOD_S)
+            for machine in self.machines.machines.values():
+                mtbf = machine.crash_mtbf_s
+                if mtbf is None or machine.state != PowerState.ON:
+                    continue
+                p_crash = 1.0 - math.exp(-_GREMLIN_PERIOD_S / mtbf)
+                if float(rng.random()) < p_crash:
+                    machine.crash()
+
+    def _housekeeping(self):
+        while True:
+            yield self.sim.timeout(_HOUSEKEEPING_PERIOD_S)
+            self.oar.housekeeping()
+            self.refapi.commit(self.sim.now, "daily archive snapshot")
+
+    # -- Jenkins wiring ------------------------------------------------------------
+
+    def _make_runner(self, family: CheckFamily):
+        def runner(build):
+            outcome = yield self.sim.process(
+                family.run(self.checkctx, dict(build.parameters)))
+            self.outcomes.append(outcome)
+            for line in outcome.log:
+                build.log_line(self.sim.now, line)
+            if outcome.resources_blocked:
+                build.log_line(self.sim.now,
+                               "testbed job not schedulable now -> UNSTABLE")
+                return BuildStatus.UNSTABLE
+            if outcome.passed:
+                return BuildStatus.SUCCESS
+            for finding in outcome.findings:
+                build.log_line(self.sim.now, str(finding))
+            self.tracker.file_from_outcome(outcome)
+            return BuildStatus.FAILURE
+
+        return runner
+
+    def register_family_jobs(self) -> None:
+        for family in self.families:
+            self.jenkins.register_job(
+                f"test_{family.name}", self._make_runner(family),
+                description=family.__class__.__doc__ or family.name,
+            )
+
+
+def build_framework(
+    seed: int = 0,
+    specs: Optional[Sequence[ClusterSpec]] = None,
+    families: Optional[Sequence[CheckFamily]] = None,
+    policy: SchedulerPolicy = SchedulerPolicy(),
+    workload_config: WorkloadConfig = WorkloadConfig(),
+    executors: int = 16,
+    fault_mean_interarrival_s: float = 86_400.0,
+    operator_speedup: float = 1.0,
+    pernode: bool = False,
+) -> TestingFramework:
+    """Assemble (but do not start) the whole simulated world."""
+    sim = Simulator()
+    rngs = RngStreams(seed=seed)
+    testbed = build_grid5000(specs if specs is not None else CLUSTER_SPECS)
+    refapi = ReferenceApi(testbed)
+    machines = MachinePark.from_testbed(sim, testbed, rngs)
+    services = ServiceHealth()
+    topology = build_topology(testbed)
+    oardb = OarDatabase(refapi, services)
+    oar = OarServer(sim, oardb, machines)
+    workload = WorkloadGenerator(sim, oar, testbed, rngs, workload_config)
+    kadeploy = Kadeploy(sim, machines, services, rngs)
+    kavlan = KavlanManager(sim, topology, services,
+                           [s.uid for s in testbed.sites])
+    kwapi = Kwapi(sim, machines, testbed, services)
+    ganglia = Ganglia(sim, machines)
+    image_names = tuple(img.name for img in REFERENCE_IMAGES)
+    fault_ctx = FaultContext.build(machines, services, image_names)
+    injector = FaultInjector(sim, fault_ctx, rngs,
+                             mean_interarrival_s=fault_mean_interarrival_s)
+    jenkins = JenkinsServer(sim, executors=executors)
+    api = JenkinsApi(jenkins)
+    tracker = BugTracker(sim, injector.ground_truth, fault_ctx)
+    operators = OperatorTeam(sim, tracker, injector, rngs,
+                             speedup=operator_speedup)
+    checkctx = CheckContext(
+        sim=sim, testbed=testbed, refapi=refapi, machines=machines,
+        services=services, oar=oar, oardb=oardb, kadeploy=kadeploy,
+        kavlan=kavlan, kwapi=kwapi, ganglia=ganglia, topology=topology,
+        rngs=rngs,
+    )
+    base_families = list(families if families is not None else ALL_FAMILIES)
+    if pernode:
+        base_families = [PerNodeVariant(f) if f.kind == "hardware" else f
+                         for f in base_families]
+    history = BuildHistory()
+    framework = TestingFramework(
+        sim=sim, rngs=rngs, testbed=testbed, refapi=refapi, machines=machines,
+        services=services, oardb=oardb, oar=oar, workload=workload,
+        kadeploy=kadeploy, kavlan=kavlan, kwapi=kwapi, ganglia=ganglia,
+        fault_ctx=fault_ctx, injector=injector, jenkins=jenkins, api=api,
+        tracker=tracker, operators=operators,
+        scheduler=None,  # set below (needs the family list)
+        checkctx=checkctx, families=base_families, history=history,
+    )
+    framework.register_family_jobs()
+    scheduler = ExternalScheduler(
+        sim, jenkins, oar, testbed, base_families, policy=policy,
+        on_build_done=lambda cell, build: history.record(cell, build),
+    )
+    framework.scheduler = scheduler
+    return framework

@@ -1,0 +1,16 @@
+"""Kadeploy-shaped OS deployment: images, chain broadcast, 3-phase deploys."""
+
+from .deployment import DeploymentResult, Kadeploy, NodeDeployOutcome
+from .images import REFERENCE_IMAGES, STD_ENV, EnvironmentImage, image_by_name
+from .kascade import broadcast_time_s
+
+__all__ = [
+    "EnvironmentImage",
+    "REFERENCE_IMAGES",
+    "STD_ENV",
+    "image_by_name",
+    "broadcast_time_s",
+    "Kadeploy",
+    "DeploymentResult",
+    "NodeDeployOutcome",
+]

@@ -1,0 +1,5 @@
+"""KaVLAN: VLAN allocation, switch reconfiguration, isolation semantics."""
+
+from .manager import RECONFIG_S_PER_SWITCH, KavlanManager, Vlan, VlanType
+
+__all__ = ["VlanType", "Vlan", "KavlanManager", "RECONFIG_S_PER_SWITCH"]

@@ -1,0 +1,6 @@
+"""Monitoring: metric ring buffers, Ganglia system probes, kwapi power."""
+
+from .metrics import MetricStore, RingBuffer, SeriesStats
+from .probes import Ganglia, Kwapi
+
+__all__ = ["MetricStore", "RingBuffer", "SeriesStats", "Ganglia", "Kwapi"]

@@ -1,0 +1,113 @@
+"""Time-series storage for monitoring probes.
+
+Slide 9: infrastructure probes (network, power) are "captured at high
+frequency (≈1 Hz)" with live visualization, a REST API and long-term
+storage.  :class:`MetricStore` keeps one fixed-capacity numpy ring buffer
+per series — O(1) appends, vectorized window queries, bounded memory even
+on month-long campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import MonitoringError
+
+__all__ = ["SeriesStats", "RingBuffer", "MetricStore"]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+
+
+class RingBuffer:
+    """Fixed-capacity (timestamp, value) ring."""
+
+    __slots__ = ("_t", "_v", "_capacity", "_size", "_head")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise MonitoringError("ring capacity must be >= 1")
+        self._capacity = capacity
+        self._t = np.empty(capacity, dtype=np.float64)
+        self._v = np.empty(capacity, dtype=np.float64)
+        self._size = 0
+        self._head = 0  # next write slot
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, t: float, value: float) -> None:
+        self._t[self._head] = t
+        self._v[self._head] = value
+        self._head = (self._head + 1) % self._capacity
+        self._size = min(self._size + 1, self._capacity)
+
+    def _ordered(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._size < self._capacity:
+            return self._t[: self._size], self._v[: self._size]
+        idx = np.concatenate([np.arange(self._head, self._capacity),
+                              np.arange(0, self._head)])
+        return self._t[idx], self._v[idx]
+
+    def last(self) -> tuple[float, float]:
+        if self._size == 0:
+            raise MonitoringError("empty series")
+        idx = (self._head - 1) % self._capacity
+        return float(self._t[idx]), float(self._v[idx])
+
+    def window(self, t_from: float, t_to: float) -> tuple[np.ndarray, np.ndarray]:
+        """All samples with ``t_from <= t < t_to`` (chronological)."""
+        t, v = self._ordered()
+        mask = (t >= t_from) & (t < t_to)
+        return t[mask], v[mask]
+
+
+class MetricStore:
+    """Named series, each a ring buffer."""
+
+    def __init__(self, capacity_per_series: int = 4096):
+        self._capacity = capacity_per_series
+        self._series: dict[str, RingBuffer] = {}
+
+    def record(self, series: str, t: float, value: float) -> None:
+        ring = self._series.get(series)
+        if ring is None:
+            ring = RingBuffer(self._capacity)
+            self._series[series] = ring
+        ring.append(t, value)
+
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def has_series(self, series: str) -> bool:
+        return series in self._series
+
+    def _ring(self, series: str) -> RingBuffer:
+        try:
+            return self._series[series]
+        except KeyError:
+            raise MonitoringError(f"unknown series: {series}") from None
+
+    def last(self, series: str) -> tuple[float, float]:
+        return self._ring(series).last()
+
+    def window(self, series: str, t_from: float, t_to: float):
+        return self._ring(series).window(t_from, t_to)
+
+    def stats(self, series: str, t_from: float, t_to: float) -> SeriesStats:
+        _, values = self.window(series, t_from, t_to)
+        if values.size == 0:
+            return SeriesStats(0, float("nan"), float("nan"), float("nan"))
+        return SeriesStats(
+            count=int(values.size),
+            mean=float(values.mean()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+        )

@@ -1,0 +1,116 @@
+"""Monitoring services: Ganglia system probes and kwapi power probes.
+
+* :class:`Ganglia` samples per-node system metrics (CPU load, memory) —
+  slide 9's "system-level probes".
+* :class:`Kwapi` measures power per **PDU outlet** and maps outlets back to
+  nodes using the *documented* wiring from the Reference API.  When a
+  cabling fault swapped two power cables, kwapi faithfully reports the
+  *wrong node's* consumption — the exact slide-13 bug ("cabling issue ⇒
+  wrong measurements by testbed monitoring service").  A site under
+  ``KWAPI_DOWN`` returns no measurements at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..faults.services import ServiceHealth
+from ..nodes.machine import MachinePark
+from ..testbed.description import TestbedDescription
+from ..util.events import Simulator
+from .metrics import MetricStore
+
+__all__ = ["Ganglia", "Kwapi"]
+
+
+class Ganglia:
+    """System-level metric collection."""
+
+    def __init__(self, sim: Simulator, machines: MachinePark,
+                 store: Optional[MetricStore] = None, period_s: float = 60.0):
+        self.sim = sim
+        self.machines = machines
+        self.store = store if store is not None else MetricStore()
+        self.period_s = period_s
+        self._running = False
+
+    def sample_node(self, uid: str) -> dict[str, float]:
+        """One on-demand sample of a node's system metrics."""
+        machine = self.machines[uid]
+        metrics = {
+            "cpu_load": machine.cpu_load,
+            "mem_total_gb": float(machine.actual.ram_gb),
+            "up": 1.0 if machine.available else 0.0,
+        }
+        for name, value in metrics.items():
+            self.store.record(f"{uid}.{name}", self.sim.now, value)
+        return metrics
+
+    def start(self, node_uids: Optional[list[str]] = None) -> None:
+        """Start periodic sampling (all nodes by default)."""
+        if self._running:
+            return
+        self._running = True
+        uids = node_uids if node_uids is not None else sorted(self.machines.machines)
+        self.sim.process(self._run(uids), name="ganglia")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self, uids: list[str]):
+        while self._running:
+            for uid in uids:
+                self.sample_node(uid)
+            yield self.sim.timeout(self.period_s)
+
+
+class Kwapi:
+    """Power monitoring through PDU outlets."""
+
+    def __init__(self, sim: Simulator, machines: MachinePark,
+                 testbed: TestbedDescription, services: ServiceHealth,
+                 store: Optional[MetricStore] = None):
+        self.sim = sim
+        self.machines = machines
+        self.services = services
+        self.store = store if store is not None else MetricStore()
+        #: documented wiring: (pdu uid, port) -> node uid
+        self._documented: dict[tuple[str, int], str] = {}
+        self._site_of: dict[str, str] = {}
+        for node in testbed.iter_nodes():
+            self._documented[(node.pdu.pdu_uid, node.pdu.port)] = node.uid
+            self._site_of[node.uid] = node.site
+
+    def outlet_watts(self, pdu_uid: str, port: int) -> Optional[float]:
+        """Raw measurement of one outlet: the draw of whatever machine is
+        *actually* cabled there."""
+        for machine in self.machines.machines.values():
+            if (machine.actual.pdu_uid, machine.actual.pdu_port) == (pdu_uid, port):
+                return machine.power_draw_watts()
+        return None  # outlet not wired
+
+    def node_power_watts(self, node_uid: str) -> Optional[float]:
+        """What the monitoring service *reports* for a node.
+
+        Looks up the node's documented outlet and measures it; if cables
+        were swapped this returns the neighbour's consumption.  Returns
+        None when the site's kwapi is down or the outlet reads nothing.
+        """
+        if self._site_of.get(node_uid) in self.services.kwapi_down:
+            return None
+        desc_outlet = None
+        for (pdu, port), uid in self._documented.items():
+            if uid == node_uid:
+                desc_outlet = (pdu, port)
+                break
+        if desc_outlet is None:
+            return None
+        value = self.outlet_watts(*desc_outlet)
+        if value is not None:
+            self.store.record(f"{node_uid}.power_w", self.sim.now, value)
+        return value
+
+    def true_power_watts(self, node_uid: str) -> float:
+        """Ground truth (not available to the real service; used by tests
+        to quantify the reporting error a cable swap introduces)."""
+        return self.machines[node_uid].power_draw_watts()

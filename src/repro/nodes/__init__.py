@@ -1,0 +1,41 @@
+"""Simulated machines: actual hardware state + fact acquisition emulators."""
+
+from .acquisition import (
+    acquire_all,
+    cpupower,
+    dmidecode,
+    ethtool,
+    hdparm,
+    ibstat,
+    ohai,
+    smartctl,
+)
+from .machine import (
+    ActualBios,
+    ActualDisk,
+    ActualInfiniband,
+    ActualNic,
+    HardwareState,
+    MachinePark,
+    PowerState,
+    SimulatedNode,
+)
+
+__all__ = [
+    "PowerState",
+    "ActualBios",
+    "ActualDisk",
+    "ActualNic",
+    "ActualInfiniband",
+    "HardwareState",
+    "SimulatedNode",
+    "MachinePark",
+    "ohai",
+    "ethtool",
+    "dmidecode",
+    "hdparm",
+    "smartctl",
+    "cpupower",
+    "ibstat",
+    "acquire_all",
+]

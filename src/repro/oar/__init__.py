@@ -1,0 +1,42 @@
+"""OAR-shaped resource manager: request language, database, scheduler."""
+
+from .database import OarDatabase, properties_from_description
+from .gantt import Gantt, NodeTimeline, Reservation
+from .jobs import Job, JobState
+from .request import (
+    ALL_NODES,
+    BoolOp,
+    Comparison,
+    JobRequest,
+    NotOp,
+    PropExpr,
+    RequestPart,
+    format_walltime,
+    parse_expression,
+    parse_request,
+)
+from .server import OarServer
+from .workload import WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "ALL_NODES",
+    "PropExpr",
+    "Comparison",
+    "BoolOp",
+    "NotOp",
+    "RequestPart",
+    "JobRequest",
+    "parse_expression",
+    "parse_request",
+    "format_walltime",
+    "OarDatabase",
+    "properties_from_description",
+    "Gantt",
+    "NodeTimeline",
+    "Reservation",
+    "Job",
+    "JobState",
+    "OarServer",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+]

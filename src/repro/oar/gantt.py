@@ -1,0 +1,193 @@
+"""Per-node allocation timeline (the scheduler's Gantt chart).
+
+Each node has a sorted list of ``(start, end, job_id)`` reservations.  The
+scheduler asks two questions:
+
+* is a node free over ``[t, t+d)``?
+* what candidate start times after ``t`` are worth trying? (interval ends)
+
+Conservative backfilling emerges naturally: reservations of
+earlier-submitted jobs stay in the Gantt, and later jobs simply search for
+the earliest window that fits around them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..util.errors import SchedulingError
+
+__all__ = ["Reservation", "NodeTimeline", "Gantt"]
+
+
+@dataclass(frozen=True)
+class Reservation:
+    start: float
+    end: float
+    job_id: int
+
+
+class NodeTimeline:
+    """Sorted, non-overlapping reservations for one node."""
+
+    __slots__ = ("_starts", "_reservations")
+
+    def __init__(self) -> None:
+        self._starts: list[float] = []
+        self._reservations: list[Reservation] = []
+
+    def __len__(self) -> int:
+        return len(self._reservations)
+
+    def __iter__(self):
+        return iter(self._reservations)
+
+    def is_free(self, start: float, end: float) -> bool:
+        """True if no reservation overlaps [start, end)."""
+        if end <= start:
+            raise SchedulingError(f"empty interval [{start}, {end})")
+        idx = bisect.bisect_right(self._starts, start)
+        if idx > 0 and self._reservations[idx - 1].end > start:
+            return False
+        if idx < len(self._reservations) and self._reservations[idx].start < end:
+            return False
+        return True
+
+    def add(self, reservation: Reservation) -> None:
+        if not self.is_free(reservation.start, reservation.end):
+            raise SchedulingError(
+                f"overlapping reservation {reservation} on busy timeline"
+            )
+        idx = bisect.bisect_right(self._starts, reservation.start)
+        self._starts.insert(idx, reservation.start)
+        self._reservations.insert(idx, reservation)
+
+    def remove_job(self, job_id: int) -> int:
+        """Drop all reservations of one job; returns how many were removed."""
+        keep = [(s, r) for s, r in zip(self._starts, self._reservations)
+                if r.job_id != job_id]
+        removed = len(self._reservations) - len(keep)
+        self._starts = [s for s, _ in keep]
+        self._reservations = [r for _, r in keep]
+        return removed
+
+    def truncate_job(self, job_id: int, end: float) -> None:
+        """Shorten a running job's reservation (early release)."""
+        for i, r in enumerate(self._reservations):
+            if r.job_id == job_id and r.end > end:
+                self._reservations[i] = Reservation(r.start, max(r.start, end), job_id)
+
+    def busy_until(self, t: float) -> float:
+        """End of the reservation covering ``t`` (or ``t`` if free)."""
+        idx = bisect.bisect_right(self._starts, t)
+        if idx > 0 and self._reservations[idx - 1].end > t:
+            return self._reservations[idx - 1].end
+        return t
+
+    def release_points(self, after: float) -> list[float]:
+        """Reservation end times > ``after`` (candidate start times)."""
+        return sorted({r.end for r in self._reservations if r.end > after})
+
+    def free_intervals(self, after: float) -> list[tuple[float, float]]:
+        """Maximal free windows from ``after`` on (last one is unbounded)."""
+        out = []
+        prev = after
+        for r in self._reservations:
+            if r.end <= after:
+                continue
+            if r.start > prev:
+                out.append((prev, r.start))
+            prev = max(prev, r.end)
+        out.append((prev, math.inf))
+        return out
+
+    def purge_before(self, t: float) -> None:
+        """Forget reservations that ended before ``t`` (memory hygiene on
+        long campaigns)."""
+        keep = [(s, r) for s, r in zip(self._starts, self._reservations) if r.end >= t]
+        self._starts = [s for s, _ in keep]
+        self._reservations = [r for _, r in keep]
+
+
+class Gantt:
+    """Timelines for a set of nodes."""
+
+    def __init__(self, node_uids: Iterable[str]):
+        self._timelines: dict[str, NodeTimeline] = {uid: NodeTimeline() for uid in node_uids}
+
+    def timeline(self, uid: str) -> NodeTimeline:
+        return self._timelines[uid]
+
+    def is_free(self, uid: str, start: float, end: float) -> bool:
+        return self._timelines[uid].is_free(start, end)
+
+    def free_nodes(self, uids: Iterable[str], start: float, end: float) -> list[str]:
+        return [u for u in uids if self._timelines[u].is_free(start, end)]
+
+    def reserve(self, uids: Iterable[str], start: float, end: float, job_id: int) -> None:
+        reserved = []
+        try:
+            for uid in uids:
+                self._timelines[uid].add(Reservation(start, end, job_id))
+                reserved.append(uid)
+        except SchedulingError:
+            for uid in reserved:  # roll back the partial reservation
+                self._timelines[uid].remove_job(job_id)
+            raise
+
+    def release(self, uids: Iterable[str], job_id: int) -> None:
+        for uid in uids:
+            self._timelines[uid].remove_job(job_id)
+
+    def truncate(self, uids: Iterable[str], job_id: int, end: float) -> None:
+        for uid in uids:
+            self._timelines[uid].truncate_job(job_id, end)
+
+    def candidate_starts(self, uids: Iterable[str], after: float) -> list[float]:
+        """`after` plus every release point on the candidate nodes."""
+        times = {after}
+        for uid in uids:
+            times.update(self._timelines[uid].release_points(after))
+        return sorted(times)
+
+    def earliest_start(self, uids: Iterable[str], after: float,
+                       duration: float, k: int) -> Optional[float]:
+        """Earliest ``t >= after`` when ``k`` of the nodes are simultaneously
+        free over ``[t, t + duration)``.
+
+        Interval sweep: each free window ``[s, e)`` long enough for
+        ``duration`` lets its node host a start anywhere in ``[s, e -
+        duration]``; the answer is the first sweep point where at least
+        ``k`` host intervals overlap.  This is O(R log R) in the number of
+        reservations — the candidate-start scan it replaces was quadratic
+        in queue depth and dominated month-long campaigns.
+        """
+        if duration <= 0:
+            raise SchedulingError(f"non-positive duration: {duration}")
+        uids = list(uids)
+        if k < 1 or k > len(uids):
+            return None
+        events: list[tuple[float, int]] = []
+        for uid in uids:
+            for s, e in self._timelines[uid].free_intervals(after):
+                if e - s >= duration:
+                    events.append((s, 0))  # +1: can host starts from s on
+                    if math.isfinite(e):
+                        events.append((e - duration, 1))  # -1 after this point
+        events.sort()
+        count = 0
+        for coord, kind in events:
+            if kind == 0:
+                count += 1
+                if count >= k:
+                    return coord
+            else:
+                count -= 1
+        return None
+
+    def purge_before(self, t: float) -> None:
+        for timeline in self._timelines.values():
+            timeline.purge_before(t)

@@ -1,0 +1,77 @@
+"""OAR job objects and lifecycle states."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..util.events import Event
+from .request import JobRequest
+
+__all__ = ["JobState", "Job"]
+
+
+class JobState(enum.Enum):
+    WAITING = "Waiting"  # submitted, no reservation yet
+    SCHEDULED = "Scheduled"  # has a (possibly future) reservation
+    RUNNING = "Running"
+    TERMINATED = "Terminated"
+    ERROR = "Error"
+    CANCELLED = "Cancelled"  # immediate job that could not start at once
+
+
+@dataclass(eq=False)
+class Job:
+    """One OAR job.
+
+    ``auto_duration`` is how long the workload actually runs (user jobs
+    finish before their walltime); ``None`` means the job runs until the
+    holder calls :meth:`repro.oar.server.OarServer.release` or the walltime
+    kill fires (test jobs are driven this way).
+    """
+
+    job_id: int
+    user: str
+    request: JobRequest
+    submitted_at: float
+    immediate: bool = False
+    auto_duration: Optional[float] = None
+    state: JobState = JobState.WAITING
+    scheduled_start: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Node uids per request part, filled when scheduled.
+    assignment: tuple[tuple[str, ...], ...] = ()
+    killed_by_walltime: bool = False
+    #: Triggered when the job actually starts (value: the job).
+    started_event: Optional[Event] = None
+    #: Triggered when the job ends in any way (value: the job).
+    done_event: Optional[Event] = None
+    #: Monotonic generation counter guarding stale timer callbacks.
+    generation: int = field(default=0)
+
+    @property
+    def assigned_nodes(self) -> list[str]:
+        return [uid for part in self.assignment for uid in part]
+
+    @property
+    def walltime_s(self) -> float:
+        return self.request.walltime_s
+
+    @property
+    def wait_time_s(self) -> Optional[float]:
+        return None if self.started_at is None else self.started_at - self.submitted_at
+
+    @property
+    def run_time_s(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.TERMINATED, JobState.ERROR, JobState.CANCELLED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Job {self.job_id} {self.state.value} {self.request}>"

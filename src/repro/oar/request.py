@@ -1,0 +1,337 @@
+"""Parser for the ``oarsub -l`` resource-request mini-language.
+
+Slide 7 shows the selection syntax users (and the testing framework) use::
+
+    oarsub -l "cluster='a' and gpu='YES'/nodes=1+cluster='b' and
+               eth10g='Y'/nodes=2,walltime=2"
+
+A request is ``part ('+' part)* (',' 'walltime=' time)?`` where each part is
+``[property_expression '/'] 'nodes=' (int | ALL)``.  Property expressions
+support ``and``/``or``/``not``, parentheses, and the comparison operators
+``= != < <= > >=`` over quoted strings and numbers.
+
+The parser is a hand-written tokenizer + recursive-descent (precedence:
+``or`` < ``and`` < ``not`` < comparison), producing an AST whose nodes
+evaluate against a property dict and render back to canonical text
+(``str(expr)`` re-parses to an equivalent AST — property-tested).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from ..util.errors import ParseError
+from ..util.simclock import HOUR, MINUTE
+
+__all__ = [
+    "PropExpr",
+    "Comparison",
+    "BoolOp",
+    "NotOp",
+    "RequestPart",
+    "JobRequest",
+    "ALL_NODES",
+    "parse_expression",
+    "parse_request",
+    "format_walltime",
+]
+
+#: Sentinel for ``nodes=ALL`` (hardware-centric tests take whole clusters).
+ALL_NODES = "ALL"
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+class PropExpr:
+    """Base class for property-expression AST nodes."""
+
+    def evaluate(self, props: dict[str, Any]) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(PropExpr):
+    name: str
+    op: str
+    value: Union[str, int, float]
+
+    def evaluate(self, props: dict[str, Any]) -> bool:
+        if self.name not in props:
+            return False
+        actual = props[self.name]
+        try:
+            return _OPS[self.op](actual, self.value)
+        except TypeError:
+            return False  # comparing number with string -> no match
+
+    def __str__(self) -> str:
+        value = f"'{self.value}'" if isinstance(self.value, str) else str(self.value)
+        return f"{self.name}{self.op}{value}"
+
+
+@dataclass(frozen=True)
+class BoolOp(PropExpr):
+    op: str  # "and" | "or"
+    left: PropExpr
+    right: PropExpr
+
+    def evaluate(self, props: dict[str, Any]) -> bool:
+        if self.op == "and":
+            return self.left.evaluate(props) and self.right.evaluate(props)
+        return self.left.evaluate(props) or self.right.evaluate(props)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class NotOp(PropExpr):
+    operand: PropExpr
+
+    def evaluate(self, props: dict[str, Any]) -> bool:
+        return not self.operand.evaluate(props)
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+@dataclass(frozen=True)
+class RequestPart:
+    """One resource group: ``expr/nodes=count``."""
+
+    expr: Optional[PropExpr]
+    count: Union[int, str]  # int or ALL_NODES
+
+    def __str__(self) -> str:
+        nodes = f"nodes={self.count}"
+        return f"{self.expr}/{nodes}" if self.expr is not None else nodes
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A full ``-l`` argument: resource parts plus a walltime."""
+
+    parts: tuple[RequestPart, ...]
+    walltime_s: float
+
+    def __str__(self) -> str:
+        parts = "+".join(str(p) for p in self.parts)
+        return f"{parts},walltime={format_walltime(self.walltime_s)}"
+
+
+def format_walltime(seconds: float) -> str:
+    total = int(round(seconds))
+    h, rem = divmod(total, int(HOUR))
+    m, s = divmod(rem, int(MINUTE))
+    return f"{h}:{m:02d}:{s:02d}"
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<op><=|>=|!=|=|<|>)
+      | (?P<punct>[()/+,:])
+      | (?P<string>'[^']*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    )""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError("unexpected character", text, pos)
+        for kind in ("op", "punct", "string", "number", "word"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value, match.start(kind)))
+                break
+        pos = match.end()
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Recursive-descent parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            raise ParseError(f"expected {text or kind}, got {tok.text!r}",
+                             self.text, tok.pos)
+        return tok
+
+    def at_word(self, *words: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.kind == "word" and tok.text.lower() in words
+
+    def at_punct(self, *chars: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.kind == "punct" and tok.text in chars
+
+    # -- expression grammar ----------------------------------------------------
+
+    def parse_or(self) -> PropExpr:
+        left = self.parse_and()
+        while self.at_word("or"):
+            self.next()
+            left = BoolOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> PropExpr:
+        left = self.parse_not()
+        while self.at_word("and"):
+            self.next()
+            left = BoolOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> PropExpr:
+        if self.at_word("not"):
+            self.next()
+            return NotOp(self.parse_not())
+        return self.parse_atom()
+
+    def parse_atom(self) -> PropExpr:
+        if self.at_punct("("):
+            self.next()
+            expr = self.parse_or()
+            self.expect("punct", ")")
+            return expr
+        name_tok = self.expect("word")
+        op_tok = self.expect("op")
+        value_tok = self.next()
+        value: Union[str, int, float]
+        if value_tok.kind == "string":
+            value = value_tok.text[1:-1]
+        elif value_tok.kind == "number":
+            value = float(value_tok.text) if "." in value_tok.text else int(value_tok.text)
+        else:
+            raise ParseError(f"expected a value, got {value_tok.text!r}",
+                             self.text, value_tok.pos)
+        return Comparison(name_tok.text, op_tok.text, value)
+
+    # -- request grammar ----------------------------------------------------------
+
+    def parse_part(self) -> RequestPart:
+        """``[expr /] nodes=count`` — needs lookahead because both branches
+        start with a word."""
+        # `nodes` is a reserved word: a part starting with it is the bare
+        # `nodes=count` form, never a property comparison.
+        if self.at_word("nodes"):
+            self.next()
+            self.expect("op", "=")
+            return RequestPart(None, self._parse_count())
+        expr = self.parse_or()
+        self.expect("punct", "/")
+        self.expect("word", "nodes")
+        self.expect("op", "=")
+        return RequestPart(expr, self._parse_count())
+
+    def _parse_count(self) -> Union[int, str]:
+        tok = self.next()
+        if tok.kind == "number" and "." not in tok.text and int(tok.text) > 0:
+            return int(tok.text)
+        if tok.kind == "word" and tok.text.upper() == ALL_NODES:
+            return ALL_NODES
+        raise ParseError(f"invalid node count {tok.text!r}", self.text, tok.pos)
+
+    def parse_request(self) -> JobRequest:
+        parts = [self.parse_part()]
+        while self.at_punct("+"):
+            self.next()
+            parts.append(self.parse_part())
+        walltime_s = HOUR  # OAR's default walltime
+        if self.at_punct(","):
+            self.next()
+            self.expect("word", "walltime")
+            self.expect("op", "=")
+            walltime_s = self._parse_time_value()
+        tok = self.peek()
+        if tok is not None:
+            raise ParseError(f"trailing input {tok.text!r}", self.text, tok.pos)
+        return JobRequest(tuple(parts), walltime_s)
+
+    def _parse_time_value(self) -> float:
+        """``H``, ``H:MM`` or ``H:MM:SS`` (also fractional hours ``1.5``)."""
+        h = self.expect("number")
+        if "." in h.text:
+            return float(h.text) * HOUR
+        seconds = int(h.text) * HOUR
+        for unit in (MINUTE, 1):
+            if not self.at_punct(":"):
+                break
+            self.next()
+            tok = self.expect("number")
+            seconds += int(tok.text) * unit
+        return float(seconds)
+
+
+def parse_expression(text: str) -> PropExpr:
+    """Parse a bare property expression, e.g. ``"gpu='YES' and memnode>=64"``."""
+    parser = _Parser(text)
+    expr = parser.parse_or()
+    tok = parser.peek()
+    if tok is not None:
+        raise ParseError(f"trailing input {tok.text!r}", text, tok.pos)
+    return expr
+
+
+def parse_request(text: str) -> JobRequest:
+    """Parse a full ``-l`` request string.
+
+    >>> req = parse_request("cluster='grisou'/nodes=2,walltime=2:30:00")
+    >>> req.parts[0].count, req.walltime_s
+    (2, 9000.0)
+    """
+    return _Parser(text).parse_request()

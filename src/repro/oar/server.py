@@ -1,0 +1,367 @@
+"""The OAR server: submission, scheduling, execution of jobs.
+
+Scheduling model (a faithful small-scale OAR):
+
+* **FCFS with conservative backfilling** — jobs are considered in
+  submission order; each gets the earliest reservation that fits around
+  all existing reservations.  Later small jobs therefore slide into holes
+  in front of earlier wide jobs without delaying them.
+* **Whole-cluster requests** (``nodes=ALL``) need every alive node of the
+  matching set free simultaneously — on a loaded testbed this takes a long
+  time, which is precisely the paper's scheduling problem (slide 16:
+  "waiting for all nodes of a given cluster to be available can take
+  weeks").
+* **Immediate-or-cancel submissions** model the external test scheduler's
+  contract (slide 17): if the job cannot start right now it is cancelled
+  (and the Jenkins build is marked unstable by the caller).
+* On every job completion, not-yet-started reservations are recomputed so
+  early releases pull future jobs forward (as OAR's periodic scheduling
+  pass does).
+
+Node states follow OAR vocabulary: **Alive** (usable), **Absent**
+(rebooting/off), **Suspected** (crashed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..nodes.machine import MachinePark, PowerState
+from ..util.errors import SchedulingError
+from ..util.events import Simulator
+from .database import OarDatabase
+from .gantt import Gantt
+from .jobs import Job, JobState
+from .request import ALL_NODES, JobRequest, parse_request
+
+__all__ = ["OarServer"]
+
+#: Tolerance for "starts now" in immediate-or-cancel submissions.
+_IMMEDIATE_SLACK_S = 1.0
+
+#: CPU load applied to allocated nodes (feeds the power model).
+_BUSY_LOAD = 0.75
+_IDLE_LOAD = 0.02
+
+
+class OarServer:
+    """Resource manager over one testbed."""
+
+    def __init__(self, sim: Simulator, database: OarDatabase, machines: MachinePark):
+        self.sim = sim
+        self.db = database
+        self.machines = machines
+        self.gantt = Gantt(database.node_uids())
+        self.jobs: dict[int, Job] = {}
+        self._next_job_id = 1
+        #: Jobs with no reservation yet, in submission order.
+        self._waiting: list[Job] = []
+        #: Jobs with a reservation that has not started yet.
+        self._scheduled: list[Job] = []
+        self._matching_cache: dict[str, list[str]] = {}
+        #: Replan coalescing: many completions in a burst trigger a single
+        #: rescheduling pass (like OAR's periodic scheduler), which keeps
+        #: long campaigns tractable.
+        self._replan_pending = False
+        self.replan_batch_s = 300.0
+        #: Nodes freed since the last replanning pass: only queued jobs that
+        #: could use them are re-placed (plus a periodic full pass).
+        self._dirty_nodes: set[str] = set()
+        self.full_replan_period_s = 3600.0
+        self._next_full_replan = 0.0
+
+    # -- node states -----------------------------------------------------------
+
+    def node_state(self, uid: str) -> str:
+        machine = self.machines[uid]
+        if machine.state == PowerState.ON:
+            return "Alive"
+        if machine.state == PowerState.CRASHED:
+            return "Suspected"
+        return "Absent"
+
+    def alive_nodes(self) -> list[str]:
+        return [uid for uid in self.db.node_uids() if self.node_state(uid) == "Alive"]
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(
+        self,
+        request: Union[str, JobRequest],
+        user: str = "user",
+        auto_duration: Optional[float] = None,
+        immediate: bool = False,
+    ) -> Job:
+        """Submit a job; returns it (state CANCELLED for failed immediates).
+
+        ``auto_duration`` caps the actual run time (min with walltime);
+        ``None`` means the job runs until :meth:`release` or walltime kill.
+        """
+        if isinstance(request, str):
+            request = parse_request(request)
+        job = Job(
+            job_id=self._next_job_id,
+            user=user,
+            request=request,
+            submitted_at=self.sim.now,
+            immediate=immediate,
+            auto_duration=auto_duration,
+            started_event=self.sim.event(),
+            done_event=self.sim.event(),
+        )
+        self._next_job_id += 1
+        self.jobs[job.job_id] = job
+        if immediate:
+            placement = self._find_assignment(job, self.sim.now)
+            if placement is None or placement[0] > self.sim.now + _IMMEDIATE_SLACK_S:
+                job.state = JobState.CANCELLED
+                job.finished_at = self.sim.now
+                job.done_event.succeed(job)
+                return job
+            start, assignment = placement
+            self._reserve(job, start, assignment)
+            return job
+        self._waiting.append(job)
+        self._schedule_pass()
+        return job
+
+    def cancel(self, job: Job) -> None:
+        """Cancel a waiting/scheduled job (running jobs use release())."""
+        if job.state == JobState.WAITING:
+            self._waiting.remove(job)
+        elif job.state == JobState.SCHEDULED:
+            self._scheduled.remove(job)
+            self.gantt.release(job.assigned_nodes, job.job_id)
+            self._dirty_nodes.update(job.assigned_nodes)
+            self._request_replan()
+            job.assignment = ()
+        else:
+            raise SchedulingError(f"cannot cancel job in state {job.state}")
+        job.generation += 1
+        job.state = JobState.CANCELLED
+        job.finished_at = self.sim.now
+        job.done_event.succeed(job)
+
+    def release(self, job: Job) -> None:
+        """End a running job now (normal completion)."""
+        if job.state != JobState.RUNNING:
+            raise SchedulingError(f"cannot release job in state {job.state}")
+        self._finish(job, JobState.TERMINATED)
+
+    # -- scheduling ------------------------------------------------------------------
+
+    def _matching(self, part_expr) -> list[str]:
+        """Cached property-filter evaluation (expressions repeat heavily)."""
+        key = str(part_expr)
+        uids = self._matching_cache.get(key)
+        if uids is None:
+            uids = self.db.matching(part_expr)
+            self._matching_cache[key] = uids
+        return uids
+
+    def _matching_set(self, part_expr) -> frozenset:
+        key = "set:" + str(part_expr)
+        cached = self._matching_cache.get(key)
+        if cached is None:
+            cached = frozenset(self._matching(part_expr))
+            self._matching_cache[key] = cached
+        return cached  # type: ignore[return-value]
+
+    def invalidate_matching_cache(self) -> None:
+        """Call after the OAR database rows change (sync or drift)."""
+        self._matching_cache.clear()
+
+    def _find_assignment(
+        self, job: Job, after: float
+    ) -> Optional[tuple[float, tuple[tuple[str, ...], ...]]]:
+        """Earliest (start, per-part node sets) satisfying the request."""
+        walltime = job.walltime_s
+        part_candidates: list[list[str]] = []
+        for part in job.request.parts:
+            candidates = [u for u in self._matching(part.expr)
+                          if self.node_state(u) == "Alive"]
+            if not candidates:
+                return None
+            needed = len(candidates) if part.count == ALL_NODES else part.count
+            if needed > len(candidates):
+                return None
+            part_candidates.append(candidates)
+        if len(job.request.parts) == 1:
+            # Fast path (the overwhelmingly common shape): interval sweep.
+            part, candidates = job.request.parts[0], part_candidates[0]
+            needed = len(candidates) if part.count == ALL_NODES else part.count
+            start = self.gantt.earliest_start(candidates, after, walltime, needed)
+            if start is None:
+                return None
+            free = [u for u in candidates
+                    if self.gantt.is_free(u, start, start + walltime)]
+            chosen = free if part.count == ALL_NODES else free[:needed]
+            return start, (tuple(chosen),)
+        all_candidates = sorted({u for c in part_candidates for u in c})
+        for start in self.gantt.candidate_starts(all_candidates, after):
+            assignment: list[tuple[str, ...]] = []
+            taken: set[str] = set()
+            feasible = True
+            for part, candidates in zip(job.request.parts, part_candidates):
+                free = [u for u in candidates
+                        if u not in taken and self.gantt.is_free(u, start, start + walltime)]
+                needed = len(candidates) if part.count == ALL_NODES else part.count
+                if part.count == ALL_NODES:
+                    # ALL semantics: every alive matching node, simultaneously.
+                    if len(free) < len([u for u in candidates if u not in taken]):
+                        feasible = False
+                        break
+                    chosen = free
+                elif len(free) < needed:
+                    feasible = False
+                    break
+                else:
+                    chosen = free[:needed]
+                assignment.append(tuple(chosen))
+                taken.update(chosen)
+            if feasible:
+                return start, tuple(assignment)
+        return None
+
+    def _reserve(self, job: Job, start: float,
+                 assignment: tuple[tuple[str, ...], ...]) -> None:
+        nodes = [uid for part in assignment for uid in part]
+        self.gantt.reserve(nodes, start, start + job.walltime_s, job.job_id)
+        job.assignment = assignment
+        job.scheduled_start = start
+        job.state = JobState.SCHEDULED
+        self._scheduled.append(job)
+        generation = job.generation
+        self.sim.call_at(start, self._try_start, job, generation)
+
+    def _schedule_pass(self) -> None:
+        """Give every waiting job the earliest reservation that fits."""
+        still_waiting: list[Job] = []
+        for job in self._waiting:
+            placement = self._find_assignment(job, self.sim.now)
+            if placement is None:
+                still_waiting.append(job)  # no alive matching nodes right now
+                continue
+            self._reserve(job, *placement)
+        self._waiting = still_waiting
+
+    def _replan_future_jobs(self, touching: Optional[set[str]] = None) -> None:
+        """Tear down not-yet-started reservations and reschedule (pull
+        forward after an early release or node repair).
+
+        With ``touching``, only jobs whose candidate node set intersects it
+        are replanned — the cheap incremental pass between full passes.
+        """
+        if touching is not None:
+            replanned = [
+                j for j in self._scheduled
+                if any(touching & self._matching_set(p.expr)
+                       for p in j.request.parts)
+            ]
+            if not replanned:
+                return
+            self._scheduled = [j for j in self._scheduled if j not in set(replanned)]
+        else:
+            replanned = self._scheduled
+            self._scheduled = []
+        for job in replanned:
+            self.gantt.release(job.assigned_nodes, job.job_id)
+            job.assignment = ()
+            job.scheduled_start = None
+            job.state = JobState.WAITING
+            job.generation += 1  # invalidate the pending _try_start timer
+        # Keep global FCFS order across both pools.
+        self._waiting = sorted(self._waiting + replanned, key=lambda j: j.job_id)
+        self._schedule_pass()
+
+    # -- execution -----------------------------------------------------------------
+
+    def _try_start(self, job: Job, generation: int) -> None:
+        if job.generation != generation or job.state != JobState.SCHEDULED:
+            return  # stale timer: the job was replanned or cancelled
+        self._scheduled.remove(job)
+        dead = [u for u in job.assigned_nodes if self.node_state(u) != "Alive"]
+        if dead:
+            # A reserved node died in the meantime: back to the queue.
+            self.gantt.release(job.assigned_nodes, job.job_id)
+            job.assignment = ()
+            job.scheduled_start = None
+            job.generation += 1
+            if job.immediate:
+                job.state = JobState.CANCELLED
+                job.finished_at = self.sim.now
+                job.done_event.succeed(job)
+            else:
+                job.state = JobState.WAITING
+                self._waiting.append(job)
+                self._schedule_pass()
+            return
+        job.state = JobState.RUNNING
+        job.started_at = self.sim.now
+        for uid in job.assigned_nodes:
+            self.machines[uid].cpu_load = _BUSY_LOAD
+        job.started_event.succeed(job)
+        generation = job.generation
+        if job.auto_duration is not None:
+            run_for = min(job.auto_duration, job.walltime_s)
+            self.sim.call_in(run_for, self._auto_finish, job, generation)
+        else:
+            self.sim.call_in(job.walltime_s, self._walltime_kill, job, generation)
+
+    def _auto_finish(self, job: Job, generation: int) -> None:
+        if job.generation != generation or job.state != JobState.RUNNING:
+            return
+        killed = job.auto_duration is not None and job.auto_duration > job.walltime_s
+        job.killed_by_walltime = killed
+        self._finish(job, JobState.TERMINATED)
+
+    def _walltime_kill(self, job: Job, generation: int) -> None:
+        if job.generation != generation or job.state != JobState.RUNNING:
+            return
+        job.killed_by_walltime = True
+        self._finish(job, JobState.ERROR)
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        job.generation += 1
+        job.state = state
+        job.finished_at = self.sim.now
+        for uid in job.assigned_nodes:
+            self.machines[uid].cpu_load = _IDLE_LOAD
+        self.gantt.truncate(job.assigned_nodes, job.job_id, self.sim.now)
+        self._dirty_nodes.update(job.assigned_nodes)
+        job.done_event.succeed(job)
+        self._request_replan()
+
+    def _request_replan(self) -> None:
+        if not self._replan_pending:
+            self._replan_pending = True
+            self.sim.call_in(self.replan_batch_s, self._do_replan)
+
+    def _do_replan(self) -> None:
+        self._replan_pending = False
+        if self.sim.now >= self._next_full_replan:
+            self._next_full_replan = self.sim.now + self.full_replan_period_s
+            self._replan_future_jobs()
+        else:
+            self._replan_future_jobs(touching=self._dirty_nodes)
+        self._dirty_nodes = set()
+
+    # -- introspection ----------------------------------------------------------------
+
+    def waiting_count(self) -> int:
+        return len(self._waiting) + len(self._scheduled)
+
+    def running_jobs(self) -> list[Job]:
+        return [j for j in self.jobs.values() if j.state == JobState.RUNNING]
+
+    def utilization(self) -> float:
+        """Fraction of alive nodes currently allocated."""
+        alive = self.alive_nodes()
+        if not alive:
+            return 0.0
+        busy = {u for j in self.running_jobs() for u in j.assigned_nodes}
+        return len(busy & set(alive)) / len(alive)
+
+    def housekeeping(self, keep_horizon_s: float = 86_400.0) -> None:
+        """Purge ancient Gantt entries (call periodically on long campaigns)."""
+        self.gantt.purge_before(self.sim.now - keep_horizon_s)

@@ -1,0 +1,135 @@
+"""Synthetic user workload: keeps the testbed realistically busy.
+
+Slide 16's scheduling problem only exists because "resources are heavily
+used": test jobs compete with ~550 users.  The generator reproduces that
+contention with a non-homogeneous Poisson arrival process (diurnal +
+weekday modulation), a long-tailed job-size mix and lognormal walltimes.
+
+Calibration: ``target_utilization`` sets the mean requested load as a
+fraction of total node capacity; the default 0.7 makes single-node jobs
+start immediately most of the time while whole-cluster requests wait for
+a long time — the regime the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..testbed.description import TestbedDescription
+from ..util.events import Simulator
+from ..util.rng import RngStreams
+from ..util.simclock import HOUR, is_peak_hours, is_weekend
+from .server import OarServer
+
+__all__ = ["WorkloadConfig", "WorkloadGenerator"]
+
+#: (node count, probability) — long tail of small jobs, occasional wide ones.
+_SIZE_MIX: tuple[tuple[int, float], ...] = (
+    (1, 0.50),
+    (2, 0.15),
+    (4, 0.12),
+    (8, 0.10),
+    (16, 0.08),
+    (32, 0.05),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    target_utilization: float = 0.7
+    mean_walltime_s: float = 3.0 * HOUR
+    #: Arrival-rate multipliers by calendar regime.
+    peak_factor: float = 1.7
+    offpeak_factor: float = 0.6
+    weekend_factor: float = 0.35
+
+
+class WorkloadGenerator:
+    """Poisson job-arrival process feeding an :class:`OarServer`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        oar: OarServer,
+        testbed: TestbedDescription,
+        rng_streams: RngStreams,
+        config: WorkloadConfig = WorkloadConfig(),
+    ):
+        self.sim = sim
+        self.oar = oar
+        self.config = config
+        self._rng = rng_streams.stream("workload")
+        self._clusters = [c.uid for c in testbed.iter_clusters()]
+        self._cluster_sizes = np.array(
+            [c.node_count for c in testbed.iter_clusters()], dtype=float
+        )
+        self._cluster_weights = self._cluster_sizes / self._cluster_sizes.sum()
+        self._total_nodes = int(self._cluster_sizes.sum())
+        self._sizes = np.array([s for s, _ in _SIZE_MIX])
+        self._size_probs = np.array([p for _, p in _SIZE_MIX])
+        self._mean_interarrival_s = self._calibrate()
+        self.submitted = 0
+        self._running = False
+
+    def _calibrate(self) -> float:
+        """Mean inter-arrival so that requested node-time matches target."""
+        mean_nodes = float((self._sizes * self._size_probs).sum())
+        # Actual run time averages ~0.65 x walltime (jobs finish early).
+        mean_busy_s = 0.65 * self.config.mean_walltime_s
+        node_seconds_per_job = mean_nodes * mean_busy_s
+        capacity_per_s = self._total_nodes * self.config.target_utilization
+        return node_seconds_per_job / capacity_per_s
+
+    # -- arrival process ---------------------------------------------------------
+
+    def rate_factor(self, t: float) -> float:
+        if is_weekend(t):
+            return self.config.weekend_factor
+        return self.config.peak_factor if is_peak_hours(t) else self.config.offpeak_factor
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self.sim.process(self._run(), name="workload")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self):
+        # Thinning-free approximation: scale the exponential inter-arrival
+        # by the regime factor at the draw time (regimes last hours, draws
+        # are minutes apart, so the bias is negligible).
+        while self._running:
+            factor = max(self.rate_factor(self.sim.now), 1e-6)
+            delay = float(self._rng.exponential(self._mean_interarrival_s / factor))
+            yield self.sim.timeout(delay)
+            if not self._running:
+                return
+            self.submit_one()
+
+    # -- job synthesis --------------------------------------------------------------
+
+    def submit_one(self):
+        """Draw and submit one synthetic user job."""
+        cluster_idx = int(self._rng.choice(len(self._clusters), p=self._cluster_weights))
+        cluster = self._clusters[cluster_idx]
+        size = int(self._rng.choice(self._sizes, p=self._size_probs))
+        size = min(size, int(self._cluster_sizes[cluster_idx]))
+        walltime = float(np.clip(
+            self._rng.lognormal(mean=np.log(self.config.mean_walltime_s), sigma=0.6),
+            0.25 * HOUR, 24 * HOUR,
+        ))
+        duration = walltime * float(self._rng.uniform(0.3, 1.0))
+        request = f"cluster='{cluster}'/nodes={size},walltime={_fmt(walltime)}"
+        self.submitted += 1
+        return self.oar.submit(request, user=f"user{self.submitted % 550}",
+                               auto_duration=duration)
+
+
+def _fmt(seconds: float) -> str:
+    total = int(seconds)
+    h, rem = divmod(total, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}"

@@ -1,0 +1,14 @@
+"""External test scheduler: availability-aware triggering with policies."""
+
+from .launcher import ExternalScheduler, TestCell
+from .pernode import PerNodeVariant, make_pernode_scheduler
+from .policies import Backoff, SchedulerPolicy
+
+__all__ = [
+    "SchedulerPolicy",
+    "Backoff",
+    "TestCell",
+    "ExternalScheduler",
+    "PerNodeVariant",
+    "make_pernode_scheduler",
+]

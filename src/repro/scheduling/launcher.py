@@ -1,0 +1,189 @@
+"""The external test scheduler (slides 16-17).
+
+Jenkins' time-based scheduling cannot cope with a heavily-used testbed:
+hardware-centric tests need *all* nodes of a cluster, and "waiting for all
+nodes of a given cluster to be available can take weeks".  One cannot just
+submit-and-wait either, because that "would use a Jenkins worker" and
+"compete with user requests".
+
+This external tool therefore:
+
+* keeps one *cell* per (family, configuration) with its own re-run cadence
+  and exponential-backoff retry state;
+* on every tick, queries **the testbed status** (free alive nodes per
+  cluster/site via OAR) and **the job status** (builds in flight via
+  Jenkins), and only triggers a build when the policies allow:
+  resource availability, peak hours, per-site concurrency;
+* relies on the test scripts' immediate-or-cancel OAR submissions: if the
+  testbed job cannot start at once the build comes back UNSTABLE, and the
+  cell backs off exponentially.
+
+The per-node scheduling alternative (the paper's closing open question) is
+in :mod:`repro.scheduling.pernode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..checksuite.base import CheckFamily
+from ..ci.job import Build, BuildStatus
+from ..ci.server import JenkinsServer
+from ..oar.server import OarServer
+from ..testbed.description import TestbedDescription
+from ..util.events import Simulator
+from .policies import Backoff, SchedulerPolicy
+
+__all__ = ["TestCell", "ExternalScheduler"]
+
+
+@dataclass(eq=False)
+class TestCell:
+    """One (family, configuration) pair with its scheduling state."""
+
+    family: CheckFamily
+    config: dict[str, Any]
+    site: str
+    cluster: Optional[str]
+    backoff: Backoff
+    next_attempt_at: float = 0.0
+    in_flight: bool = False
+    runs: int = 0
+    blocked_attempts: int = 0
+
+    @property
+    def job_name(self) -> str:
+        return f"test_{self.family.name}"
+
+
+class ExternalScheduler:
+    """Availability-aware build launcher over Jenkins + OAR."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        jenkins: JenkinsServer,
+        oar: OarServer,
+        testbed: TestbedDescription,
+        families: list[CheckFamily],
+        policy: SchedulerPolicy = SchedulerPolicy(),
+        tick_s: float = 300.0,
+        on_build_done: Optional[Callable[[TestCell, Build], None]] = None,
+    ):
+        self.sim = sim
+        self.jenkins = jenkins
+        self.oar = oar
+        self.testbed = testbed
+        self.policy = policy
+        self.tick_s = tick_s
+        self.on_build_done = on_build_done
+        self.cells: list[TestCell] = []
+        self._in_flight_per_site: dict[str, int] = {}
+        self._site_of_cluster = {c.uid: c.site for c in testbed.iter_clusters()}
+        self._cluster_nodes = {c.uid: [n.uid for n in c.nodes]
+                               for c in testbed.iter_clusters()}
+        self._site_nodes: dict[str, list[str]] = {}
+        for site in testbed.sites:
+            self._site_nodes[site.uid] = [n.uid for c in site.clusters
+                                          for n in c.nodes]
+        for family in families:
+            for config in family.configurations(testbed):
+                cluster = config.get("cluster")
+                site = config.get("site") or self._site_of_cluster[cluster]
+                self.cells.append(TestCell(
+                    family=family, config=config, site=site, cluster=cluster,
+                    backoff=Backoff(policy),
+                ))
+        self._running = False
+
+    # -- testbed status queries ----------------------------------------------
+
+    def _free_alive(self, uids: list[str]) -> int:
+        """Nodes alive and not reserved right now (short horizon probe)."""
+        now = self.sim.now
+        count = 0
+        for uid in uids:
+            if self.oar.node_state(uid) != "Alive":
+                continue
+            if self.oar.gantt.is_free(uid, now, now + 60.0):
+                count += 1
+        return count
+
+    def resources_available(self, cell: TestCell) -> bool:
+        need = cell.family.nodes_needed
+        if need == 0:
+            return True
+        if cell.cluster is not None:
+            uids = self._cluster_nodes[cell.cluster]
+        else:
+            uids = self._site_nodes[cell.site]
+        if need == "ALL":
+            alive = sum(1 for u in uids if self.oar.node_state(u) == "Alive")
+            return alive > 0 and self._free_alive(uids) == alive
+        return self._free_alive(uids) >= int(need)
+
+    # -- main loop ------------------------------------------------------------
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self.sim.process(self._run(), name="external-scheduler")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self):
+        while self._running:
+            self._tick()
+            yield self.sim.timeout(self.tick_s)
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        for cell in self.cells:
+            if cell.in_flight or cell.next_attempt_at > now:
+                continue
+            if not self.policy.allows_now(cell.family.kind, now):
+                continue  # retry next tick; no backoff growth for calendar
+            if self._in_flight_per_site.get(cell.site, 0) >= \
+                    self.policy.max_concurrent_per_site:
+                continue
+            if self.policy.check_resources_first and not self.resources_available(cell):
+                cell.blocked_attempts += 1
+                cell.next_attempt_at = now + cell.backoff.next_delay()
+                continue
+            self._launch(cell)
+
+    def _launch(self, cell: TestCell) -> None:
+        cell.in_flight = True
+        cell.runs += 1
+        self._in_flight_per_site[cell.site] = \
+            self._in_flight_per_site.get(cell.site, 0) + 1
+        build = self.jenkins.trigger(cell.job_name, parameters=cell.config,
+                                     cause="external-scheduler")
+        build.done_event.add_callback(lambda ev, c=cell: self._on_done(c, ev.value))
+
+    def _on_done(self, cell: TestCell, build: Build) -> None:
+        cell.in_flight = False
+        self._in_flight_per_site[cell.site] -= 1
+        if build.status in (BuildStatus.UNSTABLE, BuildStatus.ABORTED):
+            # Could not get resources (or timed out): exponential backoff.
+            cell.next_attempt_at = self.sim.now + cell.backoff.next_delay()
+        else:
+            cell.backoff.reset()
+            period = (self.policy.hardware_period_s
+                      if cell.family.kind == "hardware"
+                      else self.policy.software_period_s)
+            cell.next_attempt_at = self.sim.now + period
+        if self.on_build_done is not None:
+            self.on_build_done(cell, build)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "cells": len(self.cells),
+            "in_flight": sum(1 for c in self.cells if c.in_flight),
+            "total_runs": sum(c.runs for c in self.cells),
+            "total_blocked": sum(c.blocked_attempts for c in self.cells),
+        }

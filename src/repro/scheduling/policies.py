@@ -1,0 +1,69 @@
+"""Policies of the external test scheduler (slide 17).
+
+The external tool "queries the job status and the testbed status, and
+decides to submit a job based on: resources availability, retry policy
+(exponential backoff), additional policies (peak hours, avoid several jobs
+on same site)".  Each policy here is one of those clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.simclock import DAY, HOUR, is_peak_hours
+
+__all__ = ["SchedulerPolicy", "Backoff"]
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Tunable knobs (the A3 ablation bench sweeps these)."""
+
+    #: Re-run cadence of a cell after a completed build.  With 751 cells
+    #: (448 of them deployments) these cadences keep the framework's own
+    #: load at a few hundred builds per day, like the real instance.
+    software_period_s: float = 3 * DAY
+    hardware_period_s: float = 7 * DAY
+    #: Exponential backoff after a blocked/unstable attempt.
+    backoff_initial_s: float = 1 * HOUR
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 4 * DAY
+    #: Keep resource-hungry tests out of users' peak hours.
+    avoid_peak_hours_for_hardware: bool = True
+    #: At most this many framework builds in flight per site.
+    max_concurrent_per_site: int = 1
+    #: Check resources availability before triggering (skipping this is the
+    #: naive baseline that wastes Jenkins workers — slide 16).
+    check_resources_first: bool = True
+
+    def allows_now(self, kind: str, t: float) -> bool:
+        if kind == "hardware" and self.avoid_peak_hours_for_hardware:
+            return not is_peak_hours(t)
+        return True
+
+
+class Backoff:
+    """Exponential backoff state for one test cell."""
+
+    __slots__ = ("_policy", "_current_s", "attempts")
+
+    def __init__(self, policy: SchedulerPolicy):
+        self._policy = policy
+        self._current_s = policy.backoff_initial_s
+        self.attempts = 0
+
+    @property
+    def current_s(self) -> float:
+        return self._current_s
+
+    def next_delay(self) -> float:
+        """Delay to wait after a failed attempt; grows exponentially."""
+        delay = self._current_s
+        self.attempts += 1
+        self._current_s = min(self._current_s * self._policy.backoff_factor,
+                              self._policy.backoff_max_s)
+        return delay
+
+    def reset(self) -> None:
+        self._current_s = self._policy.backoff_initial_s
+        self.attempts = 0

@@ -1,0 +1,157 @@
+"""Hardware catalog: the vendor parts the synthetic testbed is built from.
+
+Grid'5000 hardware spans a decade of purchases from different vendors
+(slide 12: "hardware of different age, from different vendors"), which is
+precisely why silent configuration drift happens.  The catalog lists CPU,
+disk, NIC, Infiniband and GPU parts with realistic attributes; the testbed
+generator picks from it per cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CpuModel",
+    "DiskModel",
+    "NicModel",
+    "IbModel",
+    "GpuModel",
+    "CPU_MODELS",
+    "DISK_MODELS",
+    "NIC_MODELS",
+    "IB_MODELS",
+    "GPU_MODELS",
+    "cpu_for",
+    "disk_model",
+    "nic_model",
+]
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    name: str
+    vendor: str
+    microarchitecture: str
+    cores: int
+    threads_per_core: int
+    clock_ghz: float
+    ht_capable: bool
+    turbo_capable: bool
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    vendor: str
+    model: str
+    size_gb: int
+    interface: str
+    storage_type: str
+    #: Known firmware versions, oldest first.  Nodes of one cluster should
+    #: all run the *same* version; skew across nodes is a classic bug.
+    firmware_versions: tuple[str, ...]
+
+    @property
+    def reference_firmware(self) -> str:
+        """The version the Reference API documents (the newest one)."""
+        return self.firmware_versions[-1]
+
+
+@dataclass(frozen=True)
+class NicModel:
+    model: str
+    driver: str
+    rate_gbps: float
+
+
+@dataclass(frozen=True)
+class IbModel:
+    model: str
+    rate_gbps: int
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    model: str
+    memory_gb: int
+
+
+#: Keyed by name.  ``cores`` is per package.
+CPU_MODELS: dict[str, CpuModel] = {
+    m.name: m
+    for m in [
+        CpuModel("AMD Opteron 250", "amd", "K8", 1, 1, 2.4, False, False),
+        CpuModel("AMD Opteron 285", "amd", "K8", 2, 1, 2.6, False, False),
+        CpuModel("Intel Xeon X3440", "intel", "Nehalem", 4, 2, 2.53, True, True),
+        CpuModel("Intel Xeon L5420", "intel", "Harpertown", 4, 1, 2.5, False, False),
+        CpuModel("Intel Xeon E5420", "intel", "Harpertown", 4, 1, 2.5, False, False),
+        CpuModel("Intel Xeon X5570", "intel", "Nehalem", 4, 2, 2.93, True, True),
+        CpuModel("Intel Xeon E5520", "intel", "Nehalem", 4, 2, 2.27, True, True),
+        CpuModel("Intel Xeon X5670", "intel", "Westmere", 6, 2, 2.93, True, True),
+        CpuModel("Intel Xeon E5-2620", "intel", "Sandy Bridge", 6, 2, 2.0, True, True),
+        CpuModel("Intel Xeon E5-2630 v3", "intel", "Haswell", 8, 2, 2.4, True, True),
+        CpuModel("Intel Xeon E5-2630L v4", "intel", "Broadwell", 10, 2, 1.8, True, True),
+        CpuModel("Intel Xeon E5-2660 v2", "intel", "Ivy Bridge", 10, 2, 2.2, True, True),
+        CpuModel("Intel Xeon E5-2680 v4", "intel", "Broadwell", 14, 2, 2.4, True, True),
+    ]
+}
+
+DISK_MODELS: tuple[DiskModel, ...] = (
+    DiskModel("Seagate", "ST3250310NS", 250, "SATA", "HDD", ("SN04", "SN05", "SN06")),
+    DiskModel("Western Digital", "WD2502ABYS", 250, "SATA", "HDD", ("02.03B02", "02.03B03")),
+    DiskModel("Hitachi", "HUA722010CLA330", 1000, "SATA", "HDD", ("JP4OA25C", "JP4OA3EA")),
+    DiskModel("Seagate", "ST9500620NS", 500, "SATA", "HDD", ("AA03", "AA09")),
+    DiskModel("Toshiba", "MG03ACA100", 1000, "SATA", "HDD", ("FL1A", "FL1D")),
+    DiskModel("Dell", "PERC H330 600GB SAS", 600, "SAS", "HDD", ("GA07", "GA09", "GA10")),
+    DiskModel("Intel", "SSDSC2BB300G4", 300, "SATA", "SSD", ("D2010355", "D2010370")),
+    DiskModel("Samsung", "SM863 480GB", 480, "SATA", "SSD", ("GXM1003Q", "GXM1103Q")),
+)
+
+NIC_MODELS: dict[str, NicModel] = {
+    m.model: m
+    for m in [
+        NicModel("Broadcom NetXtreme BCM5720", "tg3", 1.0),
+        NicModel("Intel 82576 Gigabit", "igb", 1.0),
+        NicModel("Intel 82599ES 10-Gigabit", "ixgbe", 10.0),
+        NicModel("Intel X710 10-Gigabit", "i40e", 10.0),
+        NicModel("Broadcom BCM57810 10-Gigabit", "bnx2x", 10.0),
+        NicModel("Intel X550 10-Gigabit", "ixgbe", 10.0),
+    ]
+}
+
+IB_MODELS: dict[int, IbModel] = {
+    20: IbModel("Mellanox MT25418 ConnectX DDR", 20),
+    40: IbModel("Mellanox MT26428 ConnectX-2 QDR", 40),
+    56: IbModel("Mellanox MT27500 ConnectX-3 FDR", 56),
+}
+
+GPU_MODELS: dict[str, GpuModel] = {
+    m.model: m
+    for m in [
+        GpuModel("NVIDIA Tesla S1070", 4),
+        GpuModel("NVIDIA Tesla M2075", 6),
+        GpuModel("NVIDIA GTX 1080 Ti", 11),
+    ]
+}
+
+
+def cpu_for(name: str) -> CpuModel:
+    """Catalog lookup with a helpful error."""
+    try:
+        return CPU_MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown CPU model: {name!r}") from None
+
+
+def disk_model(model: str) -> DiskModel:
+    for d in DISK_MODELS:
+        if d.model == model:
+            return d
+    raise KeyError(f"unknown disk model: {model!r}")
+
+
+def nic_model(model: str) -> NicModel:
+    try:
+        return NIC_MODELS[model]
+    except KeyError:
+        raise KeyError(f"unknown NIC model: {model!r}") from None

@@ -1,0 +1,280 @@
+"""Synthetic Grid'5000-shaped testbed generator.
+
+Builds a :class:`~repro.testbed.description.TestbedDescription` reproducing
+the paper's slide-6 inventory **exactly**:
+
+* 8 sites, 32 clusters, 894 nodes, 8490 cores, 10 Gbps backbone;
+* exactly 18 Dell clusters (dellbios test family),
+* exactly 12 Infiniband clusters (mpigraph test family),
+* exactly 9 disk-testable clusters (disk test family),
+
+so that the slide-21 coverage table (751 test configurations) is exact.
+
+Cluster names and hardware mixes echo the real testbed circa 2017 but node
+counts are synthetic (the real per-cluster inventory is not in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .catalog import GPU_MODELS, IB_MODELS, cpu_for, disk_model, nic_model
+from .description import (
+    BiosSettings,
+    ClusterDescription,
+    CpuSpec,
+    DiskSpec,
+    GpuSpec,
+    InfinibandSpec,
+    NicSpec,
+    NodeDescription,
+    PduPort,
+    SiteDescription,
+    TestbedDescription,
+)
+
+__all__ = ["ClusterSpec", "CLUSTER_SPECS", "SITE_NAMES", "build_grid5000"]
+
+#: The eight paper-era Grid'5000 sites.
+SITE_NAMES: tuple[str, ...] = (
+    "grenoble",
+    "lille",
+    "luxembourg",
+    "lyon",
+    "nancy",
+    "nantes",
+    "rennes",
+    "sophia",
+)
+
+#: Ports per power distribution unit.
+_PDU_PORTS = 24
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static recipe for one synthetic cluster."""
+
+    site: str
+    name: str
+    nodes: int
+    cpu_model: str
+    cpu_count: int
+    ram_gb: int
+    vendor: str
+    chassis: str
+    vintage: int
+    nic_models: tuple[str, ...]  # first one is the primary (mounted) NIC
+    disk_models: tuple[str, ...]  # first one is the system disk
+    ib_rate: Optional[int] = None
+    gpu_model: Optional[str] = None
+    gpu_count: int = 0
+    boot_time_s: float = 180.0
+
+
+# Per-node core counts are cpu_count x catalog cores; totals are asserted in
+# build_grid5000:  894 nodes / 8490 cores / 32 clusters / 8 sites.
+CLUSTER_SPECS: tuple[ClusterSpec, ...] = (
+    # -- grenoble (4 clusters) -------------------------------------------------
+    ClusterSpec("grenoble", "edel", 40, "Intel Xeon L5420", 2, 24, "bull", "Bull R422-E1", 2008,
+                ("Broadcom NetXtreme BCM5720",), ("ST3250310NS",), ib_rate=40, boot_time_s=260.0),
+    ClusterSpec("grenoble", "genepi", 30, "Intel Xeon E5420", 2, 8, "bull", "Bull R422-E1", 2008,
+                ("Broadcom NetXtreme BCM5720",), ("ST3250310NS",), ib_rate=40, boot_time_s=260.0),
+    ClusterSpec("grenoble", "adonis", 10, "Intel Xeon E5520", 2, 24, "bull", "Bull R422-E2", 2009,
+                ("Broadcom NetXtreme BCM5720",), ("WD2502ABYS",), ib_rate=40,
+                gpu_model="NVIDIA Tesla S1070", gpu_count=2, boot_time_s=240.0),
+    ClusterSpec("grenoble", "digitalis", 6, "Intel Xeon X5670", 2, 48, "hp", "HP DL360 G7", 2010,
+                ("Intel 82576 Gigabit",), ("HUA722010CLA330",), boot_time_s=220.0),
+    # -- lille (4 clusters) ----------------------------------------------------
+    ClusterSpec("lille", "chetemi", 15, "Intel Xeon E5-2660 v2", 2, 256, "dell", "Dell R630", 2016,
+                ("Intel X710 10-Gigabit", "Broadcom NetXtreme BCM5720"),
+                ("PERC H330 600GB SAS", "PERC H330 600GB SAS"), boot_time_s=150.0),
+    ClusterSpec("lille", "chifflet", 8, "Intel Xeon E5-2630 v3", 2, 128, "dell", "Dell R730", 2016,
+                ("Intel X710 10-Gigabit", "Broadcom NetXtreme BCM5720"),
+                ("PERC H330 600GB SAS", "SM863 480GB"), boot_time_s=150.0),
+    ClusterSpec("lille", "chinqchint", 40, "Intel Xeon E5420", 2, 8, "dell", "Dell 1950", 2008,
+                ("Broadcom NetXtreme BCM5720",), ("WD2502ABYS",), boot_time_s=280.0),
+    ClusterSpec("lille", "chimint", 20, "Intel Xeon L5420", 2, 16, "dell", "Dell 1950", 2008,
+                ("Broadcom NetXtreme BCM5720",), ("ST3250310NS",), boot_time_s=280.0),
+    # -- luxembourg (3 clusters) -------------------------------------------------
+    ClusterSpec("luxembourg", "granduc", 16, "Intel Xeon L5420", 2, 16, "hp", "HP DL165 G7", 2008,
+                ("Intel 82576 Gigabit",), ("ST3250310NS",), boot_time_s=250.0),
+    ClusterSpec("luxembourg", "petitprince", 16, "Intel Xeon E5-2620", 2, 32, "dell", "Dell M620", 2013,
+                ("Intel 82599ES 10-Gigabit",), ("ST9500620NS",), boot_time_s=180.0),
+    ClusterSpec("luxembourg", "nyx", 6, "Intel Xeon E5420", 2, 8, "hp", "HP DL140 G3", 2008,
+                ("Intel 82576 Gigabit",), ("WD2502ABYS",), boot_time_s=250.0),
+    # -- lyon (4 clusters) -------------------------------------------------------
+    ClusterSpec("lyon", "sagittaire", 60, "AMD Opteron 285", 2, 2, "sun", "Sun Fire V20z", 2006,
+                ("Broadcom NetXtreme BCM5720",), ("ST3250310NS",), boot_time_s=320.0),
+    ClusterSpec("lyon", "taurus", 16, "Intel Xeon L5420", 2, 32, "dell", "Dell R720", 2012,
+                ("Intel 82599ES 10-Gigabit",), ("ST9500620NS",), ib_rate=40, boot_time_s=180.0),
+    ClusterSpec("lyon", "orion", 4, "Intel Xeon E5-2620", 2, 32, "dell", "Dell R720", 2012,
+                ("Intel 82599ES 10-Gigabit",), ("ST9500620NS",),
+                gpu_model="NVIDIA Tesla M2075", gpu_count=1, boot_time_s=180.0),
+    ClusterSpec("lyon", "nova", 23, "Intel Xeon E5-2630 v3", 2, 64, "dell", "Dell R430", 2016,
+                ("Intel X710 10-Gigabit",), ("PERC H330 600GB SAS", "MG03ACA100"), boot_time_s=150.0),
+    # -- nancy (6 clusters) --------------------------------------------------------
+    ClusterSpec("nancy", "graphene", 90, "Intel Xeon X3440", 1, 16, "carri", "Carri CS-5393B", 2010,
+                ("Intel 82576 Gigabit",), ("HUA722010CLA330",), ib_rate=20, boot_time_s=230.0),
+    ClusterSpec("nancy", "griffon", 70, "Intel Xeon L5420", 2, 16, "carri", "Carri CS-5393B", 2009,
+                ("Intel 82576 Gigabit",), ("HUA722010CLA330",), ib_rate=20, boot_time_s=240.0),
+    ClusterSpec("nancy", "grimoire", 8, "Intel Xeon E5-2630 v3", 2, 128, "hp", "HP DL380 G9", 2016,
+                ("Intel X710 10-Gigabit", "Intel X710 10-Gigabit",
+                 "Intel X710 10-Gigabit", "Intel X710 10-Gigabit"),
+                ("PERC H330 600GB SAS", "MG03ACA100", "MG03ACA100",
+                 "SSDSC2BB300G4", "SM863 480GB"), ib_rate=56, boot_time_s=150.0),
+    ClusterSpec("nancy", "grisou", 48, "Intel Xeon E5-2620", 2, 128, "dell", "Dell R630", 2016,
+                ("Intel X710 10-Gigabit", "Intel X710 10-Gigabit"),
+                ("PERC H330 600GB SAS", "MG03ACA100"), boot_time_s=150.0),
+    ClusterSpec("nancy", "graoully", 16, "Intel Xeon E5-2630 v3", 2, 128, "dell", "Dell R630", 2016,
+                ("Intel X710 10-Gigabit",), ("PERC H330 600GB SAS",), ib_rate=56, boot_time_s=150.0),
+    ClusterSpec("nancy", "grele", 14, "Intel Xeon E5-2630 v3", 2, 128, "dell", "Dell R730", 2017,
+                ("Intel X710 10-Gigabit",), ("PERC H330 600GB SAS",), ib_rate=56,
+                gpu_model="NVIDIA GTX 1080 Ti", gpu_count=2, boot_time_s=150.0),
+    # -- nantes (3 clusters) ---------------------------------------------------------
+    ClusterSpec("nantes", "econome", 22, "Intel Xeon E5-2630 v3", 2, 64, "dell", "Dell C6220", 2014,
+                ("Intel 82599ES 10-Gigabit",), ("MG03ACA100", "MG03ACA100"), boot_time_s=170.0),
+    ClusterSpec("nantes", "ecotype", 40, "Intel Xeon E5-2620", 2, 128, "dell", "Dell R630", 2017,
+                ("Intel X550 10-Gigabit",), ("SM863 480GB", "SM863 480GB"), boot_time_s=150.0),
+    ClusterSpec("nantes", "estats", 19, "Intel Xeon X3440", 1, 8, "sgi", "SGI XE310", 2009,
+                ("Intel 82576 Gigabit",), ("WD2502ABYS",), boot_time_s=260.0),
+    # -- rennes (4 clusters) ------------------------------------------------------------
+    ClusterSpec("rennes", "paravance", 60, "Intel Xeon E5-2630 v3", 2, 128, "dell", "Dell R630", 2015,
+                ("Intel X710 10-Gigabit", "Intel X710 10-Gigabit"),
+                ("PERC H330 600GB SAS", "MG03ACA100"), boot_time_s=150.0),
+    ClusterSpec("rennes", "parasilo", 28, "Intel Xeon E5-2630 v3", 2, 128, "dell", "Dell R630", 2015,
+                ("Intel X710 10-Gigabit",),
+                ("PERC H330 600GB SAS", "MG03ACA100", "MG03ACA100",
+                 "MG03ACA100", "SSDSC2BB300G4"), boot_time_s=150.0),
+    ClusterSpec("rennes", "parapide", 25, "Intel Xeon X5570", 2, 24, "dell", "Dell R410", 2010,
+                ("Intel 82576 Gigabit",), ("HUA722010CLA330",), ib_rate=40, boot_time_s=220.0),
+    ClusterSpec("rennes", "parapluie", 30, "Intel Xeon E5-2620", 2, 48, "hp", "HP DL165 G7", 2012,
+                ("Intel 82576 Gigabit",), ("ST9500620NS",), ib_rate=40, boot_time_s=210.0),
+    # -- sophia (4 clusters) ---------------------------------------------------------------
+    ClusterSpec("sophia", "suno", 35, "Intel Xeon E5420", 2, 32, "dell", "Dell R410", 2009,
+                ("Broadcom NetXtreme BCM5720",), ("WD2502ABYS",), boot_time_s=240.0),
+    ClusterSpec("sophia", "uvb", 30, "Intel Xeon E5520", 2, 24, "ibm", "IBM x3550 M2", 2010,
+                ("Intel 82576 Gigabit",), ("HUA722010CLA330",), ib_rate=40, boot_time_s=230.0),
+    ClusterSpec("sophia", "helios", 20, "Intel Xeon L5420", 2, 8, "dell", "Dell 1950", 2008,
+                ("Broadcom NetXtreme BCM5720",), ("ST3250310NS",), boot_time_s=280.0),
+    ClusterSpec("sophia", "azur", 29, "AMD Opteron 250", 2, 4, "sun", "Sun Fire V20z", 2005,
+                ("Broadcom NetXtreme BCM5720",), ("ST3250310NS",), boot_time_s=330.0),
+)
+
+
+def _mac(node_index: int, nic_index: int) -> str:
+    """Deterministic locally-administered MAC address."""
+    value = (node_index << 8) | nic_index
+    octets = [0x02, 0x16, 0x3E, (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF]
+    return ":".join(f"{o:02x}" for o in octets)
+
+
+def _guid(node_index: int) -> str:
+    return f"0x0002c903{node_index:08x}"
+
+
+def _build_node(spec: ClusterSpec, idx: int, global_index: int) -> NodeDescription:
+    cpu_model = cpu_for(spec.cpu_model)
+    cpu = CpuSpec(
+        model=cpu_model.name,
+        vendor=cpu_model.vendor,
+        microarchitecture=cpu_model.microarchitecture,
+        cores=cpu_model.cores,
+        threads_per_core=cpu_model.threads_per_core,
+        clock_ghz=cpu_model.clock_ghz,
+        ht_capable=cpu_model.ht_capable,
+        turbo_capable=cpu_model.turbo_capable,
+    )
+    disks = []
+    for di, dm_name in enumerate(spec.disk_models):
+        dm = disk_model(dm_name)
+        disks.append(
+            DiskSpec(
+                device=f"sd{chr(ord('a') + di)}",
+                vendor=dm.vendor,
+                model=dm.model,
+                size_gb=dm.size_gb,
+                interface=dm.interface,
+                storage_type=dm.storage_type,
+                firmware=dm.reference_firmware,
+                write_cache=True,
+                read_ahead=True,
+            )
+        )
+    nics = []
+    for ni, nm_name in enumerate(spec.nic_models):
+        nm = nic_model(nm_name)
+        nics.append(
+            NicSpec(
+                device=f"eth{ni}",
+                model=nm.model,
+                driver=nm.driver,
+                rate_gbps=nm.rate_gbps,
+                mac=_mac(global_index, ni),
+                mountable=True,
+            )
+        )
+    ib = None
+    if spec.ib_rate is not None:
+        ib_model = IB_MODELS[spec.ib_rate]
+        ib = InfinibandSpec(model=ib_model.model, rate_gbps=ib_model.rate_gbps,
+                            guid=_guid(global_index))
+    gpu = None
+    if spec.gpu_model is not None:
+        gm = GPU_MODELS[spec.gpu_model]
+        gpu = GpuSpec(model=gm.model, count=spec.gpu_count, memory_gb=gm.memory_gb)
+    pdu = PduPort(pdu_uid=f"{spec.name}-pdu{idx // _PDU_PORTS + 1}", port=idx % _PDU_PORTS + 1)
+    return NodeDescription(
+        uid=f"{spec.name}-{idx + 1}",
+        cluster=spec.name,
+        site=spec.site,
+        cpu=cpu,
+        cpu_count=spec.cpu_count,
+        ram_gb=spec.ram_gb,
+        disks=tuple(disks),
+        nics=tuple(nics),
+        bios=BiosSettings(version=f"{spec.vintage % 100}.2.1"),
+        pdu=pdu,
+        infiniband=ib,
+        gpu=gpu,
+        serial=f"{spec.vendor[:2].upper()}{spec.vintage}{global_index:05d}",
+    )
+
+
+def build_grid5000(specs: Sequence[ClusterSpec] = CLUSTER_SPECS) -> TestbedDescription:
+    """Materialize the full synthetic testbed description.
+
+    The result is fully deterministic (no RNG involved): descriptions are
+    *documentation*, and documentation does not vary run to run.  Hardware
+    variance (faults, firmware skew...) is applied later to the *actual*
+    machines by :mod:`repro.faults`.
+    """
+    sites = {name: SiteDescription(uid=name) for name in SITE_NAMES}
+    global_index = 0
+    for spec in specs:
+        cluster = ClusterDescription(
+            uid=spec.name,
+            site=spec.site,
+            vendor=spec.vendor,
+            chassis_model=spec.chassis,
+            vintage_year=spec.vintage,
+            boot_time_s=spec.boot_time_s,
+        )
+        for idx in range(spec.nodes):
+            cluster.nodes.append(_build_node(spec, idx, global_index))
+            global_index += 1
+        sites[spec.site].clusters.append(cluster)
+    testbed = TestbedDescription(
+        name="grid5000-sim",
+        backbone_gbps=10.0,
+        # Subset builds (tests, focused experiments) drop empty sites.
+        sites=[sites[name] for name in SITE_NAMES if sites[name].clusters],
+    )
+    if specs is CLUSTER_SPECS:
+        # Paper-exact inventory (slide 6) -- guards against table drift.
+        assert testbed.site_count == 8, testbed.site_count
+        assert testbed.cluster_count == 32, testbed.cluster_count
+        assert testbed.node_count == 894, testbed.node_count
+        assert testbed.total_cores == 8490, testbed.total_cores
+    return testbed

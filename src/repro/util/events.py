@@ -1,0 +1,405 @@
+"""Minimal deterministic discrete-event simulation kernel.
+
+This is the substrate everything in :mod:`repro` runs on: the OAR batch
+scheduler, Kadeploy deployments, the Jenkins-shaped CI server, the external
+test scheduler and the fault injector are all processes driven by one
+:class:`Simulator`.
+
+The design follows the classic event-heap + generator-process model (a small
+subset of SimPy, reimplemented here because the environment is offline):
+
+* :class:`Simulator` owns a heap of ``(time, sequence, callback)`` entries.
+  The sequence number makes execution order fully deterministic for equal
+  timestamps (insertion order), which matters for reproducible campaigns.
+* :class:`Event` is a one-shot occurrence that callbacks and processes can
+  wait on.
+* :class:`Process` wraps a generator; the generator ``yield``\\ s events
+  (typically :meth:`Simulator.timeout`) and is resumed when they trigger.
+  A process is itself an event that triggers when the generator returns,
+  so processes can join each other.
+* :class:`AnyOf` / :class:`AllOf` combine events.
+* :class:`Resource` is a capacity-limited FIFO resource (used e.g. for
+  Jenkins executors).
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(proc(sim, "a", 2.0))
+>>> _ = sim.process(proc(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Resource",
+    "Simulator",
+]
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    ``cause`` carries whatever object the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event.
+
+    An event starts *pending*; :meth:`succeed` or :meth:`fail` triggers it
+    exactly once, delivering ``value`` to every registered callback.
+    """
+
+    __slots__ = ("sim", "callbacks", "_triggered", "value", "_is_error")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._triggered = False
+        self.value: Any = None
+        self._is_error = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has occurred (successfully or not)."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully."""
+        return self._triggered and not self._is_error
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, delivering ``value`` to waiters."""
+        self._trigger(value, is_error=False)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as a failure; waiters receive the exception."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() needs an exception instance")
+        self._trigger(exception, is_error=True)
+        return self
+
+    def _trigger(self, value: Any, is_error: bool) -> None:
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self.value = value
+        self._is_error = is_error
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            self.sim._schedule_call(0.0, cb, self)
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event triggers (immediately if past)."""
+        if self._triggered:
+            self.sim._schedule_call(0.0, fn, self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim._schedule_call(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class AnyOf(Event):
+    """Triggers when the first of ``events`` triggers.
+
+    ``value`` is a dict mapping the already-triggered events to their values
+    at the instant of first trigger.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf needs at least one event")
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, _child: Event) -> None:
+        if not self.triggered:
+            self.succeed({e: e.value for e in self.events if e.triggered})
+
+
+class AllOf(Event):
+    """Triggers when all of ``events`` have triggered.
+
+    ``value`` is a dict mapping each event to its value.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            raise SimulationError("AllOf needs at least one event")
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, _child: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.succeed({e: e.value for e in self.events})
+
+
+class Process(Event):
+    """A running generator-based process.
+
+    The wrapped generator yields :class:`Event` instances and is resumed
+    with the event's value when it triggers (or has the event's exception
+    thrown into it if the event failed).  The process is itself an event
+    that succeeds with the generator's return value.
+    """
+
+    __slots__ = ("gen", "name", "_wait_token", "_alive")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._wait_token = 0
+        self._alive = True
+        sim._schedule_call(0.0, self._resume, self._wait_token, None, None)
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a silent no-op; interrupting a
+        waiting process cancels the wait (the awaited event's later trigger
+        is ignored by this process).
+        """
+        if not self._alive:
+            return
+        self._wait_token += 1  # invalidate any pending wait resume
+        self.sim._schedule_call(
+            0.0, self._resume, self._wait_token, None, Interrupt(cause)
+        )
+
+    # -- internal machinery -------------------------------------------------
+
+    def _resume(self, token: int, value: Any, exc: Optional[BaseException]) -> None:
+        if token != self._wait_token or not self._alive:
+            return  # stale wake-up (process was interrupted meanwhile)
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Generator chose not to handle the interrupt: treat as death.
+            self._alive = False
+            self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            self._alive = False
+            err = SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            self.fail(err)
+            raise err
+        self._wait_token += 1
+        token = self._wait_token
+        target.add_callback(lambda ev: self._on_wait_done(token, ev))
+
+    def _on_wait_done(self, token: int, ev: Event) -> None:
+        if ev.ok:
+            self._resume(token, ev.value, None)
+        else:
+            self._resume(token, None, ev.value)
+
+
+class Resource:
+    """A capacity-limited FIFO resource.
+
+    ``request()`` returns an event that succeeds once a slot is available;
+    the holder must call ``release()`` exactly once.
+    """
+
+    __slots__ = ("sim", "capacity", "in_use", "_waiters")
+
+    def __init__(self, sim: "Simulator", capacity: int):
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: list[Event] = []
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        ev = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            ev = self._waiters.pop(0)
+            ev.succeed(self)  # slot handed over directly
+        else:
+            self.in_use -= 1
+
+    def cancel(self, request_event: Event) -> None:
+        """Withdraw a request: un-queue it, or release the slot if it was
+        already granted.  Safe to call regardless of grant state."""
+        if request_event in self._waiters:
+            self._waiters.remove(request_event)
+        elif request_event.triggered:
+            self.release()
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time, in seconds.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling primitives ----------------------------------------------
+
+    def _schedule_call(self, delay: float, fn: Callable, *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Invoke ``fn(*args)`` at absolute simulated time ``when``."""
+        self._schedule_call(when - self._now, fn, *args)
+
+    def call_in(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Invoke ``fn(*args)`` after ``delay`` simulated seconds."""
+        self._schedule_call(delay, fn, *args)
+
+    # -- event factories ------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a process; returns its completion event."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def resource(self, capacity: int) -> Resource:
+        return Resource(self, capacity)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.  Returns False if none left."""
+        if not self._heap:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self._now = when
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Returns the simulated time at which execution stopped.  When
+        ``until`` is given the clock is advanced to exactly ``until`` even
+        if the last event fired earlier.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return self._now
+        if until < self._now:
+            raise SimulationError(f"run(until={until}) is in the past ({self._now})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = until
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled callback, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,110 @@
+"""Canonical JSON helpers and structural diffing.
+
+The Reference API stores node/cluster/site descriptions as plain JSON
+documents (the paper stresses the "machine-parsable format").  This module
+provides the canonical encoding used for hashing/archiving, plus a deep
+structural diff used both by the Reference API version history and by
+g5k-checks when comparing acquired facts against the reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["canonical_json", "content_hash", "DiffEntry", "deep_diff", "deep_get"]
+
+
+def canonical_json(doc: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def content_hash(doc: Any) -> str:
+    """Short stable content hash of a JSON document."""
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One structural difference between two JSON documents.
+
+    ``kind`` is ``'added'`` (key only in the new document), ``'removed'``
+    (only in the old one) or ``'changed'`` (present in both, different
+    values).  ``path`` is a dotted path; list indices appear as ``[i]``.
+    """
+
+    path: str
+    kind: str
+    old: Any = None
+    new: Any = None
+
+    def __str__(self) -> str:
+        if self.kind == "added":
+            return f"+ {self.path} = {self.new!r}"
+        if self.kind == "removed":
+            return f"- {self.path} = {self.old!r}"
+        return f"~ {self.path}: {self.old!r} -> {self.new!r}"
+
+
+def _walk(old: Any, new: Any, path: str) -> Iterator[DiffEntry]:
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in sorted(set(old) | set(new)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in new:
+                yield DiffEntry(sub, "removed", old=old[key])
+            elif key not in old:
+                yield DiffEntry(sub, "added", new=new[key])
+            else:
+                yield from _walk(old[key], new[key], sub)
+    elif isinstance(old, list) and isinstance(new, list):
+        for i in range(max(len(old), len(new))):
+            sub = f"{path}[{i}]"
+            if i >= len(new):
+                yield DiffEntry(sub, "removed", old=old[i])
+            elif i >= len(old):
+                yield DiffEntry(sub, "added", new=new[i])
+            else:
+                yield from _walk(old[i], new[i], sub)
+    elif old != new:
+        yield DiffEntry(path, "changed", old=old, new=new)
+
+
+def deep_diff(old: Any, new: Any) -> list[DiffEntry]:
+    """Structural diff between two JSON-like documents.
+
+    >>> deep_diff({"a": 1}, {"a": 2})[0].kind
+    'changed'
+    """
+    return list(_walk(old, new, ""))
+
+
+def deep_get(doc: Any, path: str, default: Any = None) -> Any:
+    """Fetch a dotted/indexed path (as produced by :func:`deep_diff`).
+
+    >>> deep_get({"a": {"b": [10, 20]}}, "a.b[1]")
+    20
+    """
+    cur = doc
+    for part in path.split("."):
+        while part:
+            if "[" in part:
+                key, _, rest = part.partition("[")
+                idx_text, _, part = rest.partition("]")
+                if key:
+                    if not isinstance(cur, dict) or key not in cur:
+                        return default
+                    cur = cur[key]
+                idx = int(idx_text)
+                if not isinstance(cur, list) or idx >= len(cur):
+                    return default
+                cur = cur[idx]
+                part = part.lstrip(".") if part else part
+            else:
+                if not isinstance(cur, dict) or part not in cur:
+                    return default
+                cur = cur[part]
+                part = ""
+    return cur

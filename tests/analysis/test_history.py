@@ -1,0 +1,96 @@
+"""Tests for the build history store and success-rate metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis import BuildHistory
+from repro.analysis.history import BuildRecord
+from repro.util import DAY, WEEK
+
+
+def rec(t, family="refapi", site="nancy", cluster="grisou", status="SUCCESS",
+        key=None):
+    return BuildRecord(finished_at=t, family=family, site=site, cluster=cluster,
+                       config_key=key or f"cluster={cluster}", status=status,
+                       duration_s=60.0)
+
+
+@pytest.fixture()
+def history():
+    h = BuildHistory()
+    h.records.extend([
+        rec(1 * DAY),
+        rec(2 * DAY, status="FAILURE"),
+        rec(3 * DAY, status="UNSTABLE"),
+        rec(8 * DAY),
+        rec(9 * DAY, family="disk", cluster="grimoire", status="FAILURE",
+            key="cluster=grimoire"),
+    ])
+    return h
+
+
+def test_select_by_family(history):
+    assert len(history.select(family="refapi")) == 4
+    assert len(history.select(family="disk")) == 1
+
+
+def test_select_by_window(history):
+    assert len(history.select(since=2 * DAY, until=8 * DAY)) == 2
+
+
+def test_select_by_cluster(history):
+    assert len(history.select(cluster="grimoire")) == 1
+
+
+def test_success_rate_excludes_unstable_by_default(history):
+    # 4 non-unstable records, 2 SUCCESS
+    assert history.success_rate() == pytest.approx(2 / 4)
+
+
+def test_success_rate_can_count_unstable(history):
+    assert history.success_rate(count_unstable=True) == pytest.approx(2 / 5)
+
+
+def test_success_rate_empty_window_is_nan(history):
+    assert math.isnan(history.success_rate(since=100 * DAY))
+
+
+def test_weekly_series(history):
+    series = history.weekly_success_series(until=2 * WEEK)
+    assert len(series) == 2
+    (w1, r1), (w2, r2) = series
+    assert (w1, w2) == (0.0, WEEK)
+    assert r1 == pytest.approx(1 / 2)  # SUCCESS + FAILURE (unstable dropped)
+    assert r2 == pytest.approx(1 / 2)
+
+
+def test_latest_per_cell(history):
+    latest = history.latest_per_cell()
+    assert latest[("refapi", "cluster=grisou")].finished_at == 8 * DAY
+    assert latest[("disk", "cluster=grimoire")].status == "FAILURE"
+
+
+def test_record_from_scheduler_shapes():
+    """record() adapts (cell, build) pairs from the external scheduler."""
+    from repro.ci.job import Build, BuildStatus
+
+    class FakeFamily:
+        name = "refapi"
+
+    class FakeCell:
+        family = FakeFamily()
+        site = "nancy"
+        cluster = "grisou"
+        config = {"cluster": "grisou"}
+
+    build = Build(number=1, job_name="test_refapi",
+                  parameters={"cluster": "grisou"}, cause="x", queued_at=0.0)
+    build.started_at = 1.0
+    build.finished_at = 61.0
+    build.status = BuildStatus.SUCCESS
+    h = BuildHistory()
+    h.record(FakeCell(), build)
+    assert len(h) == 1
+    assert h.records[0].config_key == "cluster=grisou"
+    assert h.records[0].duration_s == 60.0

@@ -1,0 +1,76 @@
+"""Tests for the status page rendering and rollups."""
+
+import pytest
+
+from repro.analysis import BuildHistory, StatusPage
+from repro.analysis.history import BuildRecord
+from repro.testbed import CLUSTER_SPECS, build_grid5000
+from repro.util import DAY
+
+
+def rec(t, family, cluster=None, site="nancy", status="SUCCESS", key=None):
+    return BuildRecord(finished_at=t, family=family, site=site, cluster=cluster,
+                       config_key=key or (f"cluster={cluster}" if cluster
+                                          else f"site={site}"),
+                       status=status, duration_s=60.0)
+
+
+@pytest.fixture()
+def page():
+    specs = [s for s in CLUSTER_SPECS if s.name in ("grisou", "grimoire")]
+    testbed = build_grid5000(specs)
+    history = BuildHistory()
+    history.records.extend([
+        rec(1 * DAY, "refapi", cluster="grisou"),
+        rec(2 * DAY, "refapi", cluster="grimoire", status="FAILURE"),
+        rec(1 * DAY, "oarstate", site="nancy"),
+        rec(2 * DAY, "environments", cluster="grisou",
+            key="cluster=grisou|image=debian8-min"),
+        rec(2 * DAY, "environments", cluster="grisou", status="FAILURE",
+            key="cluster=grisou|image=centos7-min"),
+    ])
+    return StatusPage(history, testbed)
+
+
+def test_grid_latest_status(page):
+    grid = page.grid()
+    assert grid["refapi"]["grisou"].status == "SUCCESS"
+    assert grid["refapi"]["grimoire"].status == "FAILURE"
+    assert grid["oarstate"]["nancy"].status == "SUCCESS"
+
+
+def test_grid_rolls_up_pessimistically(page):
+    # environments has one SUCCESS and one FAILURE cell on grisou
+    assert page.grid()["environments"]["grisou"].status == "FAILURE"
+
+
+def test_per_family_view(page):
+    view = page.per_family_status("refapi")
+    assert view == {"grisou": "SUCCESS", "grimoire": "FAILURE"}
+
+
+def test_per_cluster_view_includes_site_scoped_families(page):
+    view = page.per_cluster_status("grisou")
+    assert view["refapi"] == "SUCCESS"
+    assert view["oarstate"] == "SUCCESS"  # site-level row applies
+    assert view["environments"] == "FAILURE"
+
+
+def test_render_ascii(page):
+    text = page.render(now=3 * DAY)
+    assert "refapi" in text
+    assert "grisou" in text
+    assert "X" in text and "O" in text
+    assert "legend" in text
+
+
+def test_render_trend(page):
+    text = page.render_trend(until=3 * DAY)
+    assert "weekly success rate" in text
+    assert "%" in text
+
+
+def test_grid_respects_since(page):
+    recent = page.grid(since=1.5 * DAY)
+    assert "oarstate" not in recent  # only ran on day 1
+    assert recent["refapi"]["grimoire"].status == "FAILURE"

@@ -1,0 +1,34 @@
+"""Shared fixture: a small wired world for exercising test families."""
+
+import pytest
+
+from repro.core import build_framework
+from repro.oar import WorkloadConfig
+from repro.testbed import CLUSTER_SPECS
+
+#: Two sites, five clusters (145 nodes): nancy has IB + Dell + disk-testable
+#: clusters, lyon brings a GPU cluster — enough to give every family cells.
+SMALL_CLUSTERS = ("grisou", "grimoire", "graoully", "taurus", "nova")
+
+
+@pytest.fixture()
+def world():
+    specs = [s for s in CLUSTER_SPECS if s.name in SMALL_CLUSTERS]
+    fw = build_framework(
+        seed=11,
+        specs=specs,
+        workload_config=WorkloadConfig(target_utilization=0.3),
+    )
+    return fw
+
+
+def run_family(fw, family, config):
+    """Drive one family run to completion; returns the outcome."""
+    holder = {}
+
+    def driver():
+        holder["outcome"] = yield fw.sim.process(family.run(fw.checkctx, config))
+
+    fw.sim.process(driver())
+    fw.sim.run()
+    return holder["outcome"]

@@ -1,0 +1,69 @@
+"""Coverage-table tests: the slide-21 counts must be exact."""
+
+from repro.checksuite import ALL_FAMILIES, coverage_table, family_by_name, total_configurations
+
+
+def test_sixteen_families():
+    assert len(ALL_FAMILIES) == 16
+
+
+def test_family_names_match_slide_21():
+    names = {f.name for f in ALL_FAMILIES}
+    assert names == {
+        "refapi", "oarproperties", "dellbios", "oarstate", "cmdline", "sidapi",
+        "environments", "stdenv", "paralleldeploy", "multireboot", "multideploy",
+        "console", "kavlan", "kwapi", "mpigraph", "disk",
+    }
+
+
+def test_total_is_751_configurations(testbed):
+    """Slide 21: 'Coverage (total of 751 test configurations)'."""
+    assert total_configurations(testbed) == 751
+
+
+def test_environments_matrix_is_448(testbed):
+    """Slide 15: 14 images x 32 clusters."""
+    assert coverage_table(testbed)["environments"] == 448
+
+
+def test_per_cluster_families_have_32_cells(testbed):
+    table = coverage_table(testbed)
+    for name in ("refapi", "oarproperties", "stdenv", "paralleldeploy",
+                 "multireboot", "multideploy", "console"):
+        assert table[name] == 32, name
+
+
+def test_per_site_families_have_8_cells(testbed):
+    table = coverage_table(testbed)
+    for name in ("oarstate", "cmdline", "sidapi", "kwapi", "kavlan"):
+        assert table[name] == 8, name
+
+
+def test_hardware_specific_families(testbed):
+    table = coverage_table(testbed)
+    assert table["dellbios"] == 18  # Dell clusters
+    assert table["mpigraph"] == 12  # Infiniband clusters
+    assert table["disk"] == 9  # multi-disk clusters
+
+
+def test_family_kinds():
+    hardware = {f.name for f in ALL_FAMILIES if f.kind == "hardware"}
+    assert hardware == {"paralleldeploy", "multireboot", "multideploy"}
+
+
+def test_family_by_name_lookup():
+    assert family_by_name("disk").name == "disk"
+    import pytest
+
+    with pytest.raises(KeyError):
+        family_by_name("nonexistent")
+
+
+def test_nodes_needed_declared():
+    declared = {f.name: f.nodes_needed for f in ALL_FAMILIES}
+    assert declared["paralleldeploy"] == "ALL"
+    assert declared["multireboot"] == "ALL"
+    assert declared["multideploy"] == "ALL"
+    assert declared["environments"] == 1
+    assert declared["kavlan"] == 2
+    assert declared["oarstate"] == 0

@@ -1,0 +1,27 @@
+"""Shared fixtures: the full synthetic testbed is expensive enough to share."""
+
+import pytest
+
+from repro.testbed import ReferenceApi, build_grid5000, build_topology
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The paper-exact synthetic testbed (read-only across tests)."""
+    return build_grid5000()
+
+
+@pytest.fixture(scope="session")
+def topology(testbed):
+    return build_topology(testbed)
+
+
+@pytest.fixture()
+def fresh_testbed():
+    """A private testbed instance for tests that mutate descriptions."""
+    return build_grid5000()
+
+
+@pytest.fixture()
+def refapi(fresh_testbed):
+    return ReferenceApi(fresh_testbed)

@@ -1,0 +1,162 @@
+"""Tests for KaVLAN allocation, reconfiguration and isolation semantics."""
+
+import pytest
+
+from repro.faults import ServiceHealth
+from repro.kavlan import RECONFIG_S_PER_SWITCH, KavlanManager, VlanType
+from repro.testbed import SITE_NAMES, build_grid5000, build_topology
+from repro.util import Simulator, VlanError
+
+
+@pytest.fixture()
+def kavlan(testbed, topology):
+    sim = Simulator()
+    services = ServiceHealth()
+    return sim, services, KavlanManager(sim, topology, services, list(SITE_NAMES))
+
+
+def run_proc(sim, gen):
+    holder = {}
+
+    def driver():
+        holder["value"] = yield sim.process(gen)
+
+    sim.process(driver())
+    sim.run()
+    return holder["value"]
+
+
+def test_nodes_start_on_default_vlan(kavlan):
+    _, _, mgr = kavlan
+    assert mgr.vlan_of("grisou-1").type == VlanType.DEFAULT
+
+
+def test_default_routing_between_sites(kavlan):
+    _, _, mgr = kavlan
+    assert mgr.reachable("grisou-1", "paravance-1")  # nancy <-> rennes
+
+
+def test_allocate_local_vlan(kavlan):
+    _, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.LOCAL, "nancy")
+    assert vlan.type == VlanType.LOCAL
+    assert vlan.vlan_id >= 101
+
+
+def test_pool_exhaustion(kavlan):
+    _, _, mgr = kavlan
+    for _ in range(3):
+        mgr.allocate(VlanType.LOCAL, "nancy")
+    with pytest.raises(VlanError):
+        mgr.allocate(VlanType.LOCAL, "nancy")
+
+
+def test_unknown_site_rejected(kavlan):
+    _, _, mgr = kavlan
+    with pytest.raises(VlanError):
+        mgr.allocate(VlanType.LOCAL, "atlantis")
+
+
+def test_default_vlan_not_allocatable(kavlan):
+    _, _, mgr = kavlan
+    with pytest.raises(VlanError):
+        mgr.allocate(VlanType.DEFAULT, "nancy")
+
+
+def test_set_nodes_moves_membership(kavlan):
+    sim, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.LOCAL, "nancy")
+    applied = run_proc(sim, mgr.set_nodes(vlan, ["grisou-1", "grisou-2"]))
+    assert applied == {"grisou-1", "grisou-2"}
+    assert mgr.vlan_of("grisou-1") is vlan
+
+
+def test_reconfiguration_cost_scales_with_switches(kavlan):
+    sim, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.LOCAL, "nancy")
+    t0 = sim.now
+    # graphene-1 and graphene-50 are on different ToR switches (48-port racks)
+    run_proc(sim, mgr.set_nodes(vlan, ["graphene-1", "graphene-2", "graphene-50"]))
+    assert sim.now - t0 == pytest.approx(2 * RECONFIG_S_PER_SWITCH)
+
+
+def test_local_vlan_isolated_from_outside(kavlan):
+    sim, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.LOCAL, "nancy")
+    run_proc(sim, mgr.set_nodes(vlan, ["grisou-1", "grisou-2"]))
+    assert mgr.reachable("grisou-1", "grisou-2")  # inside
+    assert not mgr.reachable("grisou-1", "grisou-3")  # outside, same cluster
+    assert not mgr.reachable("paravance-1", "grisou-1")  # from another site
+    assert mgr.reachable("grisou-1", "grisou-3", via_gateway=True)  # SSH gw
+
+
+def test_isolation_violations_empty_when_healthy(kavlan):
+    sim, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.LOCAL, "nancy")
+    run_proc(sim, mgr.set_nodes(vlan, ["grisou-1", "grisou-2"]))
+    assert mgr.isolation_violations(vlan, ["grisou-3", "paravance-1"]) == []
+
+
+def test_broken_kavlan_leaks(kavlan):
+    sim, services, mgr = kavlan
+    services.kavlan_broken.add("nancy")
+    vlan = mgr.allocate(VlanType.LOCAL, "nancy")
+    applied = run_proc(sim, mgr.set_nodes(vlan, ["grisou-1", "grisou-2"]))
+    assert applied == set()  # ports silently unchanged
+    violations = mgr.isolation_violations(vlan, ["grisou-3"])
+    assert ("grisou-1", "grisou-3") in violations
+
+
+def test_isolation_check_requires_local(kavlan):
+    _, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.ROUTED, "nancy")
+    with pytest.raises(VlanError):
+        mgr.isolation_violations(vlan, [])
+
+
+def test_routed_vlan_reachable_from_default(kavlan):
+    sim, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.ROUTED, "lyon")
+    run_proc(sim, mgr.set_nodes(vlan, ["nova-1", "nova-2"]))
+    assert mgr.reachable("nova-1", "nova-3")  # routed <-> default
+    assert mgr.reachable("grisou-1", "nova-1")
+
+
+def test_global_vlan_spans_sites_at_l2(kavlan):
+    sim, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.GLOBAL, "nancy")
+    run_proc(sim, mgr.set_nodes(vlan, ["grisou-1", "paravance-1"]))
+    assert mgr.reachable("grisou-1", "paravance-1")  # same global L2
+    assert not mgr.reachable("grisou-1", "grisou-2")  # global is its own world
+
+
+def test_release_returns_nodes_to_default(kavlan):
+    sim, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.LOCAL, "nancy")
+    run_proc(sim, mgr.set_nodes(vlan, ["grisou-1"]))
+    run_proc(sim, mgr.release(vlan))
+    assert mgr.vlan_of("grisou-1").type == VlanType.DEFAULT
+    # pool slot is back
+    for _ in range(3):
+        mgr.allocate(VlanType.LOCAL, "nancy")
+
+
+def test_release_twice_raises(kavlan):
+    sim, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.ROUTED, "nancy")
+    run_proc(sim, mgr.release(vlan))
+    with pytest.raises(VlanError):
+        run_proc(sim, mgr.release(vlan))
+
+
+def test_set_nodes_on_released_vlan_raises(kavlan):
+    sim, _, mgr = kavlan
+    vlan = mgr.allocate(VlanType.ROUTED, "nancy")
+    run_proc(sim, mgr.release(vlan))
+    with pytest.raises(VlanError):
+        next(mgr.set_nodes(vlan, ["grisou-1"]))
+
+
+def test_reachability_reflexive(kavlan):
+    _, _, mgr = kavlan
+    assert mgr.reachable("grisou-1", "grisou-1")

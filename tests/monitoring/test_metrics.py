@@ -1,0 +1,83 @@
+"""Tests for the metric ring-buffer store."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring import MetricStore, RingBuffer
+from repro.util import MonitoringError
+
+
+def test_ring_append_and_last():
+    ring = RingBuffer(4)
+    ring.append(1.0, 10.0)
+    ring.append(2.0, 20.0)
+    assert len(ring) == 2
+    assert ring.last() == (2.0, 20.0)
+
+
+def test_ring_empty_last_raises():
+    with pytest.raises(MonitoringError):
+        RingBuffer(4).last()
+
+
+def test_ring_wraps_and_keeps_latest():
+    ring = RingBuffer(3)
+    for i in range(10):
+        ring.append(float(i), float(i * 100))
+    assert len(ring) == 3
+    t, v = ring.window(0.0, 100.0)
+    assert list(t) == [7.0, 8.0, 9.0]
+    assert list(v) == [700.0, 800.0, 900.0]
+
+
+def test_ring_window_bounds():
+    ring = RingBuffer(10)
+    for i in range(5):
+        ring.append(float(i), float(i))
+    t, _ = ring.window(1.0, 3.0)  # [from, to)
+    assert list(t) == [1.0, 2.0]
+
+
+def test_ring_capacity_validation():
+    with pytest.raises(MonitoringError):
+        RingBuffer(0)
+
+
+def test_store_record_and_stats():
+    store = MetricStore()
+    for i in range(10):
+        store.record("node.power_w", float(i), 100.0 + i)
+    stats = store.stats("node.power_w", 0.0, 10.0)
+    assert stats.count == 10
+    assert stats.mean == pytest.approx(104.5)
+    assert stats.minimum == 100.0
+    assert stats.maximum == 109.0
+
+
+def test_store_stats_empty_window():
+    store = MetricStore()
+    store.record("s", 0.0, 1.0)
+    stats = store.stats("s", 100.0, 200.0)
+    assert stats.count == 0
+    assert np.isnan(stats.mean)
+
+
+def test_store_unknown_series_raises():
+    with pytest.raises(MonitoringError):
+        MetricStore().last("ghost")
+
+
+def test_store_series_names_and_has():
+    store = MetricStore()
+    store.record("b", 0.0, 1.0)
+    store.record("a", 0.0, 1.0)
+    assert store.series_names() == ["a", "b"]
+    assert store.has_series("a") and not store.has_series("c")
+
+
+def test_store_bounded_memory():
+    store = MetricStore(capacity_per_series=16)
+    for i in range(10_000):
+        store.record("s", float(i), 0.0)
+    t, _ = store.window("s", 0.0, 1e9)
+    assert len(t) == 16

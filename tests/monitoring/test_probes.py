@@ -1,0 +1,95 @@
+"""Tests for Ganglia and kwapi probes."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultContext, FaultKind, ServiceHealth, apply_fault
+from repro.monitoring import Ganglia, Kwapi
+from repro.nodes import MachinePark
+from repro.util import RngStreams, Simulator
+
+
+@pytest.fixture()
+def world(fresh_testbed):
+    sim = Simulator()
+    services = ServiceHealth()
+    park = MachinePark.from_testbed(sim, fresh_testbed, RngStreams(seed=8))
+    return sim, services, park, fresh_testbed
+
+
+def test_ganglia_on_demand_sample(world):
+    sim, _, park, _ = world
+    ganglia = Ganglia(sim, park)
+    park["grisou-1"].cpu_load = 0.5
+    sample = ganglia.sample_node("grisou-1")
+    assert sample["cpu_load"] == 0.5
+    assert sample["up"] == 1.0
+    assert ganglia.store.last("grisou-1.cpu_load") == (0.0, 0.5)
+
+
+def test_ganglia_sees_crash(world):
+    sim, _, park, _ = world
+    ganglia = Ganglia(sim, park)
+    park["grisou-1"].crash()
+    assert ganglia.sample_node("grisou-1")["up"] == 0.0
+
+
+def test_ganglia_periodic_sampling(world):
+    sim, _, park, _ = world
+    ganglia = Ganglia(sim, park, period_s=30.0)
+    ganglia.start(node_uids=["grisou-1"])
+    sim.run(until=301.0)
+    ganglia.stop()
+    t, _ = ganglia.store.window("grisou-1.cpu_load", 0.0, 1e9)
+    assert len(t) == 11  # t=0,30,...,300
+
+
+def test_kwapi_reports_documented_outlet(world):
+    sim, services, park, testbed = world
+    kwapi = Kwapi(sim, park, testbed, services)
+    value = kwapi.node_power_watts("grisou-1")
+    assert value == pytest.approx(park["grisou-1"].power_draw_watts())
+
+
+def test_kwapi_cable_swap_reports_wrong_node(world):
+    sim, services, park, testbed = world
+    kwapi = Kwapi(sim, park, testbed, services)
+    ctx = FaultContext.build(park, services, ("debian8-std",))
+    rng = np.random.default_rng(3)
+    inst = apply_fault(FaultKind.PDU_CABLE_SWAP, ctx, rng, 1, 0.0)
+    a, b = inst.details["nodes"]
+    park[a].cpu_load = 1.0  # distinct loads so the swap is observable
+    park[b].cpu_load = 0.0
+    assert kwapi.node_power_watts(a) == pytest.approx(kwapi.true_power_watts(b))
+    assert kwapi.node_power_watts(b) == pytest.approx(kwapi.true_power_watts(a))
+    assert kwapi.node_power_watts(a) != pytest.approx(kwapi.true_power_watts(a))
+
+
+def test_kwapi_down_site_returns_none(world):
+    sim, services, park, testbed = world
+    services.kwapi_down.add("nancy")
+    kwapi = Kwapi(sim, park, testbed, services)
+    assert kwapi.node_power_watts("grisou-1") is None
+    assert kwapi.node_power_watts("paravance-1") is not None  # rennes fine
+
+
+def test_kwapi_unknown_node(world):
+    sim, services, park, testbed = world
+    kwapi = Kwapi(sim, park, testbed, services)
+    assert kwapi.node_power_watts("ghost-1") is None
+
+
+def test_kwapi_records_series(world):
+    sim, services, park, testbed = world
+    kwapi = Kwapi(sim, park, testbed, services)
+    kwapi.node_power_watts("grisou-2")
+    assert kwapi.store.has_series("grisou-2.power_w")
+
+
+def test_power_reflects_load(world):
+    sim, services, park, testbed = world
+    kwapi = Kwapi(sim, park, testbed, services)
+    idle = kwapi.node_power_watts("grisou-3")
+    park["grisou-3"].cpu_load = 1.0
+    busy = kwapi.node_power_watts("grisou-3")
+    assert busy > idle

@@ -1,0 +1,93 @@
+"""Property tests for the interval-sweep earliest-start search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oar import Gantt, Reservation
+from repro.util import SchedulingError
+
+_NODES = ["n1", "n2", "n3", "n4"]
+
+_reservations = st.lists(
+    st.tuples(
+        st.sampled_from(_NODES),
+        st.floats(0, 500, allow_nan=False),
+        st.floats(1, 60, allow_nan=False),
+    ),
+    max_size=25,
+)
+
+
+def _build(raw):
+    g = Gantt(_NODES)
+    job = 0
+    for uid, start, length in raw:
+        job += 1
+        try:
+            g.timeline(uid).add(Reservation(start, start + length, job))
+        except SchedulingError:
+            pass
+    return g
+
+
+@given(_reservations, st.floats(0, 200, allow_nan=False),
+       st.floats(1, 100, allow_nan=False), st.integers(1, 4))
+@settings(max_examples=150)
+def test_earliest_start_is_feasible(raw, after, duration, k):
+    """At the returned time, >= k nodes really are free for the duration."""
+    g = _build(raw)
+    start = g.earliest_start(_NODES, after, duration, k)
+    assert start is not None  # k <= len(nodes), all free eventually
+    assert start >= after
+    free = [u for u in _NODES if g.is_free(u, start, start + duration)]
+    assert len(free) >= k
+
+
+@given(_reservations, st.floats(0, 200, allow_nan=False),
+       st.floats(1, 100, allow_nan=False), st.integers(1, 4))
+@settings(max_examples=150)
+def test_earliest_start_is_minimal_among_candidates(raw, after, duration, k):
+    """No release point (or `after`) earlier than the answer also works."""
+    g = _build(raw)
+    start = g.earliest_start(_NODES, after, duration, k)
+    for candidate in g.candidate_starts(_NODES, after):
+        if candidate >= start:
+            break
+        free = [u for u in _NODES if g.is_free(u, candidate, candidate + duration)]
+        assert len(free) < k, (
+            f"sweep said {start} but {candidate} already fits {k} nodes")
+
+
+def test_earliest_start_empty_gantt_is_now():
+    g = Gantt(_NODES)
+    assert g.earliest_start(_NODES, 5.0, 10.0, 4) == 5.0
+
+
+def test_earliest_start_k_too_large():
+    g = Gantt(_NODES)
+    assert g.earliest_start(_NODES, 0.0, 10.0, 5) is None
+    assert g.earliest_start(_NODES, 0.0, 10.0, 0) is None
+
+
+def test_earliest_start_waits_for_release():
+    g = Gantt(_NODES)
+    for uid in _NODES:
+        g.timeline(uid).add(Reservation(0.0, 100.0, 1))
+    assert g.earliest_start(_NODES, 0.0, 10.0, 4) == 100.0
+
+
+def test_earliest_start_uses_gap_between_reservations():
+    g = Gantt(_NODES)
+    g.timeline("n1").add(Reservation(0.0, 10.0, 1))
+    g.timeline("n1").add(Reservation(50.0, 60.0, 2))
+    # a 40s job fits the [10, 50) gap on n1
+    assert g.earliest_start(["n1"], 0.0, 40.0, 1) == 10.0
+    # a 41s job does not: next chance is after the second reservation
+    assert g.earliest_start(["n1"], 0.0, 41.0, 1) == 60.0
+
+
+def test_earliest_start_rejects_bad_duration():
+    g = Gantt(_NODES)
+    with pytest.raises(SchedulingError):
+        g.earliest_start(_NODES, 0.0, 0.0, 1)

@@ -1,0 +1,162 @@
+"""Tests for the Gantt reservation timeline (unit + property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.oar import Gantt, NodeTimeline, Reservation
+from repro.util import SchedulingError
+
+
+def test_empty_timeline_is_free():
+    tl = NodeTimeline()
+    assert tl.is_free(0.0, 100.0)
+
+
+def test_reservation_blocks_interval():
+    tl = NodeTimeline()
+    tl.add(Reservation(10.0, 20.0, 1))
+    assert not tl.is_free(10.0, 20.0)
+    assert not tl.is_free(15.0, 16.0)
+    assert not tl.is_free(5.0, 11.0)
+    assert not tl.is_free(19.0, 30.0)
+
+
+def test_adjacent_intervals_are_free():
+    tl = NodeTimeline()
+    tl.add(Reservation(10.0, 20.0, 1))
+    assert tl.is_free(0.0, 10.0)
+    assert tl.is_free(20.0, 30.0)
+
+
+def test_overlapping_add_raises():
+    tl = NodeTimeline()
+    tl.add(Reservation(10.0, 20.0, 1))
+    with pytest.raises(SchedulingError):
+        tl.add(Reservation(15.0, 25.0, 2))
+
+
+def test_empty_interval_rejected():
+    tl = NodeTimeline()
+    with pytest.raises(SchedulingError):
+        tl.is_free(5.0, 5.0)
+
+
+def test_remove_job():
+    tl = NodeTimeline()
+    tl.add(Reservation(0.0, 10.0, 1))
+    tl.add(Reservation(10.0, 20.0, 2))
+    assert tl.remove_job(1) == 1
+    assert tl.is_free(0.0, 10.0)
+    assert not tl.is_free(10.0, 20.0)
+
+
+def test_truncate_job_frees_tail():
+    tl = NodeTimeline()
+    tl.add(Reservation(0.0, 100.0, 1))
+    tl.truncate_job(1, 30.0)
+    assert tl.is_free(30.0, 100.0)
+    assert not tl.is_free(0.0, 30.0)
+
+
+def test_busy_until():
+    tl = NodeTimeline()
+    tl.add(Reservation(10.0, 20.0, 1))
+    assert tl.busy_until(15.0) == 20.0
+    assert tl.busy_until(5.0) == 5.0
+    assert tl.busy_until(20.0) == 20.0  # end is exclusive
+
+
+def test_release_points():
+    tl = NodeTimeline()
+    tl.add(Reservation(0.0, 10.0, 1))
+    tl.add(Reservation(10.0, 25.0, 2))
+    assert tl.release_points(after=0.0) == [10.0, 25.0]
+    assert tl.release_points(after=10.0) == [25.0]
+
+
+def test_purge_before():
+    tl = NodeTimeline()
+    tl.add(Reservation(0.0, 10.0, 1))
+    tl.add(Reservation(50.0, 60.0, 2))
+    tl.purge_before(20.0)
+    assert len(tl) == 1
+    assert tl.is_free(0.0, 10.0)
+
+
+def test_gantt_reserve_and_release():
+    g = Gantt(["a", "b", "c"])
+    g.reserve(["a", "b"], 0.0, 10.0, job_id=1)
+    assert g.free_nodes(["a", "b", "c"], 0.0, 10.0) == ["c"]
+    g.release(["a", "b"], job_id=1)
+    assert g.free_nodes(["a", "b", "c"], 0.0, 10.0) == ["a", "b", "c"]
+
+
+def test_gantt_reserve_rolls_back_on_conflict():
+    g = Gantt(["a", "b"])
+    g.reserve(["b"], 0.0, 10.0, job_id=1)
+    with pytest.raises(SchedulingError):
+        g.reserve(["a", "b"], 5.0, 15.0, job_id=2)
+    # "a" must not be left half-reserved by job 2
+    assert g.is_free("a", 0.0, 100.0)
+
+
+def test_gantt_candidate_starts():
+    g = Gantt(["a", "b"])
+    g.reserve(["a"], 0.0, 10.0, job_id=1)
+    g.reserve(["b"], 5.0, 12.0, job_id=2)
+    assert g.candidate_starts(["a", "b"], after=0.0) == [0.0, 10.0, 12.0]
+
+
+# -- property-based invariants -------------------------------------------------
+
+_intervals = st.lists(
+    st.tuples(st.floats(0, 1000, allow_nan=False), st.floats(1, 100, allow_nan=False)),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(_intervals)
+def test_timeline_never_overlaps(raw):
+    """Whatever insertion order, accepted reservations never overlap."""
+    tl = NodeTimeline()
+    accepted = []
+    for i, (start, length) in enumerate(raw):
+        end = start + length
+        try:
+            tl.add(Reservation(start, end, i))
+            accepted.append((start, end))
+        except SchedulingError:
+            pass
+    accepted.sort()
+    for (s1, e1), (s2, e2) in zip(accepted, accepted[1:]):
+        assert e1 <= s2
+
+
+@given(_intervals)
+def test_is_free_consistent_with_add(raw):
+    """is_free(x) == add(x) succeeds — checked by trying both."""
+    tl = NodeTimeline()
+    for i, (start, length) in enumerate(raw):
+        end = start + length
+        free = tl.is_free(start, end)
+        try:
+            tl.add(Reservation(start, end, i))
+            added = True
+        except SchedulingError:
+            added = False
+        assert free == added
+
+
+@given(_intervals, st.floats(0, 1200, allow_nan=False))
+def test_remove_restores_freedom(raw, probe):
+    tl = NodeTimeline()
+    for i, (start, length) in enumerate(raw):
+        try:
+            tl.add(Reservation(start, start + length, i))
+        except SchedulingError:
+            pass
+    for i in range(len(raw)):
+        tl.remove_job(i)
+    assert tl.is_free(probe, probe + 1.0)

@@ -1,0 +1,188 @@
+"""Tests for the oarsub -l request parser (unit + property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.oar import (
+    ALL_NODES,
+    BoolOp,
+    Comparison,
+    NotOp,
+    parse_expression,
+    parse_request,
+)
+from repro.util import HOUR, MINUTE, ParseError
+
+
+# -- unit: expressions ------------------------------------------------------
+
+
+def test_simple_comparison():
+    expr = parse_expression("cluster='grisou'")
+    assert expr == Comparison("cluster", "=", "grisou")
+
+
+def test_numeric_comparison():
+    expr = parse_expression("memnode>=65536")
+    assert expr.evaluate({"memnode": 131072})
+    assert not expr.evaluate({"memnode": 1024})
+
+
+def test_float_value():
+    assert parse_expression("freq=2.4").evaluate({"freq": 2.4})
+
+
+def test_and_or_precedence():
+    expr = parse_expression("a='1' or b='2' and c='3'")
+    # and binds tighter: a='1' or (b='2' and c='3')
+    assert isinstance(expr, BoolOp) and expr.op == "or"
+    assert isinstance(expr.right, BoolOp) and expr.right.op == "and"
+
+
+def test_parentheses_override_precedence():
+    expr = parse_expression("(a='1' or b='2') and c='3'")
+    assert isinstance(expr, BoolOp) and expr.op == "and"
+
+
+def test_not_operator():
+    expr = parse_expression("not gpu='YES'")
+    assert isinstance(expr, NotOp)
+    assert expr.evaluate({"gpu": "NO"})
+    assert not expr.evaluate({"gpu": "YES"})
+
+
+def test_missing_property_is_false():
+    expr = parse_expression("gpu='YES'")
+    assert not expr.evaluate({})
+
+
+def test_type_mismatch_is_false_not_error():
+    expr = parse_expression("memnode>=64")
+    assert not expr.evaluate({"memnode": "lots"})
+
+
+def test_all_comparison_operators():
+    props = {"x": 5}
+    assert parse_expression("x=5").evaluate(props)
+    assert parse_expression("x!=4").evaluate(props)
+    assert parse_expression("x<6").evaluate(props)
+    assert parse_expression("x<=5").evaluate(props)
+    assert parse_expression("x>4").evaluate(props)
+    assert parse_expression("x>=5").evaluate(props)
+
+
+def test_garbage_raises_parse_error():
+    for bad in ("", "cluster=", "= 'x'", "cluster='a' and", "a='1' ; b='2'",
+                "(a='1'", "a='1')"):
+        with pytest.raises(ParseError):
+            parse_expression(bad)
+
+
+def test_parse_error_reports_position():
+    with pytest.raises(ParseError) as err:
+        parse_expression("cluster='a' @@ b='2'")
+    assert err.value.position >= 0
+
+
+# -- unit: full requests ------------------------------------------------------
+
+
+def test_paper_example_request():
+    """The exact oarsub line from slide 7."""
+    req = parse_request(
+        "cluster='a' and gpu='YES'/nodes=1"
+        "+cluster='b' and eth10g='Y'/nodes=2,walltime=2"
+    )
+    assert len(req.parts) == 2
+    assert req.parts[0].count == 1
+    assert req.parts[1].count == 2
+    assert req.walltime_s == 2 * HOUR
+    assert req.parts[0].expr.evaluate({"cluster": "a", "gpu": "YES"})
+    assert not req.parts[0].expr.evaluate({"cluster": "a", "gpu": "NO"})
+
+
+def test_bare_nodes_request():
+    req = parse_request("nodes=4")
+    assert req.parts[0].expr is None
+    assert req.parts[0].count == 4
+    assert req.walltime_s == HOUR  # default
+
+
+def test_nodes_all():
+    req = parse_request("cluster='grisou'/nodes=ALL,walltime=1:30")
+    assert req.parts[0].count == ALL_NODES
+    assert req.walltime_s == HOUR + 30 * MINUTE
+
+
+def test_walltime_hms():
+    assert parse_request("nodes=1,walltime=2:30:15").walltime_s == \
+        2 * HOUR + 30 * MINUTE + 15
+
+
+def test_walltime_fractional_hours():
+    assert parse_request("nodes=1,walltime=1.5").walltime_s == 1.5 * HOUR
+
+
+def test_zero_node_count_rejected():
+    with pytest.raises(ParseError):
+        parse_request("nodes=0")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_request("nodes=1 nodes=2")
+
+
+def test_request_round_trip_paper_example():
+    text = ("cluster='a' and gpu='YES'/nodes=1"
+            "+cluster='b' and eth10g='Y'/nodes=2,walltime=2")
+    req = parse_request(text)
+    assert parse_request(str(req)) == req
+
+
+# -- property-based: render/parse round-trip ------------------------------------
+
+_names = st.sampled_from(["cluster", "site", "gpu", "eth10g", "memnode", "ib", "disktype"])
+_ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+_values = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.text(alphabet="abcdefghij0123456789_", min_size=1, max_size=8),
+)
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return Comparison(draw(_names), draw(_ops), draw(_values))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return NotOp(draw(expressions(depth + 1)))
+    return BoolOp(kind, draw(expressions(depth + 1)), draw(expressions(depth + 1)))
+
+
+@given(expressions())
+def test_expression_str_round_trips(expr):
+    assert parse_expression(str(expr)) == expr
+
+
+@given(expressions(), st.dictionaries(_names, _values, max_size=5))
+def test_evaluation_matches_after_round_trip(expr, props):
+    reparsed = parse_expression(str(expr))
+    assert reparsed.evaluate(props) == expr.evaluate(props)
+
+
+@given(
+    st.lists(
+        st.tuples(expressions(), st.one_of(st.integers(1, 500), st.just(ALL_NODES))),
+        min_size=1, max_size=4,
+    ),
+    st.integers(min_value=60, max_value=48 * 3600),
+)
+def test_request_str_round_trips(parts, walltime):
+    from repro.oar import JobRequest, RequestPart
+
+    req = JobRequest(
+        tuple(RequestPart(e, c) for e, c in parts), float(walltime)
+    )
+    assert parse_request(str(req)) == req

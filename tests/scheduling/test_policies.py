@@ -1,0 +1,56 @@
+"""Tests for scheduler policies and backoff."""
+
+import pytest
+
+from repro.scheduling import Backoff, SchedulerPolicy
+from repro.util import DAY, HOUR
+
+
+def test_backoff_grows_exponentially():
+    backoff = Backoff(SchedulerPolicy())
+    delays = [backoff.next_delay() for _ in range(5)]
+    assert delays[0] == HOUR
+    assert delays[1] == 2 * HOUR
+    assert delays[2] == 4 * HOUR
+    assert delays[4] == 16 * HOUR
+    assert backoff.attempts == 5
+
+
+def test_backoff_caps_at_max():
+    backoff = Backoff(SchedulerPolicy())
+    for _ in range(20):
+        delay = backoff.next_delay()
+    assert delay == 4 * DAY
+
+
+def test_backoff_reset():
+    backoff = Backoff(SchedulerPolicy())
+    for _ in range(6):
+        backoff.next_delay()
+    backoff.reset()
+    assert backoff.next_delay() == HOUR
+    assert backoff.attempts == 1
+
+
+def test_custom_backoff_parameters():
+    policy = SchedulerPolicy(backoff_initial_s=60.0, backoff_factor=3.0,
+                             backoff_max_s=600.0)
+    backoff = Backoff(policy)
+    assert backoff.next_delay() == 60.0
+    assert backoff.next_delay() == 180.0
+    assert backoff.next_delay() == 540.0
+    assert backoff.next_delay() == 600.0  # capped
+
+
+def test_hardware_avoids_peak_hours():
+    policy = SchedulerPolicy()
+    wednesday_noon = 12 * HOUR
+    wednesday_night = 2 * HOUR
+    assert not policy.allows_now("hardware", wednesday_noon)
+    assert policy.allows_now("hardware", wednesday_night)
+    assert policy.allows_now("software", wednesday_noon)
+
+
+def test_peak_hours_policy_can_be_disabled():
+    policy = SchedulerPolicy(avoid_peak_hours_for_hardware=False)
+    assert policy.allows_now("hardware", 12 * HOUR)

@@ -1,0 +1,71 @@
+"""Tests for the hardware catalog."""
+
+import pytest
+
+from repro.testbed import (
+    CPU_MODELS,
+    DISK_MODELS,
+    IB_MODELS,
+    NIC_MODELS,
+    cpu_for,
+    disk_model,
+    nic_model,
+)
+
+
+def test_cpu_lookup():
+    cpu = cpu_for("Intel Xeon E5-2630 v3")
+    assert cpu.cores == 8
+    assert cpu.ht_capable and cpu.turbo_capable
+
+
+def test_cpu_lookup_unknown():
+    with pytest.raises(KeyError):
+        cpu_for("Intel Imaginary 9999")
+
+
+def test_old_cpus_lack_turbo():
+    assert not cpu_for("AMD Opteron 250").turbo_capable
+    assert not cpu_for("Intel Xeon L5420").ht_capable
+
+
+def test_disk_models_have_multiple_firmwares():
+    """Firmware skew bugs need at least two versions to exist."""
+    for dm in DISK_MODELS:
+        assert len(dm.firmware_versions) >= 2
+
+
+def test_disk_reference_firmware_is_newest():
+    for dm in DISK_MODELS:
+        assert dm.reference_firmware == dm.firmware_versions[-1]
+
+
+def test_disk_lookup():
+    dm = disk_model("MG03ACA100")
+    assert dm.vendor == "Toshiba"
+    assert dm.storage_type == "HDD"
+
+
+def test_disk_lookup_unknown():
+    with pytest.raises(KeyError):
+        disk_model("FLOPPY-5.25")
+
+
+def test_nic_rates_sane():
+    for nm in NIC_MODELS.values():
+        assert nm.rate_gbps in (1.0, 10.0)
+
+
+def test_nic_lookup_unknown():
+    with pytest.raises(KeyError):
+        nic_model("Token Ring 4Mbps")
+
+
+def test_ib_models_keyed_by_rate():
+    for rate, model in IB_MODELS.items():
+        assert model.rate_gbps == rate
+
+
+def test_catalog_names_unique():
+    assert len(CPU_MODELS) == len({m.name for m in CPU_MODELS.values()})
+    assert len({d.model for d in DISK_MODELS}) == len(DISK_MODELS)

@@ -1,0 +1,328 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.util import Interrupt, SimulationError, Simulator
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_time_starts_at_custom_origin():
+    assert Simulator(start=100.0).now == 100.0
+
+
+def test_call_in_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.call_in(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_call_at_absolute_time():
+    sim = Simulator(start=10.0)
+    seen = []
+    sim.call_at(25.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [25.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-1.0, lambda: None)
+
+
+def test_equal_time_events_run_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.call_in(3.0, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.call_in(100.0, lambda: None)
+    sim.run(until=40.0)
+    assert sim.now == 40.0
+    sim.run(until=200.0)
+    assert sim.now == 200.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run(until=50.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=10.0)
+
+
+def test_run_until_executes_boundary_events():
+    sim = Simulator()
+    seen = []
+    sim.call_in(10.0, seen.append, "x")
+    sim.run(until=10.0)
+    assert seen == ["x"]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.call_in(7.0, lambda: None)
+    assert sim.peek() == 7.0
+
+
+def test_process_timeout_sequence():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield sim.timeout(2.0)
+        trace.append(sim.now)
+        yield sim.timeout(3.0)
+        trace.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert trace == [0.0, 2.0, 5.0]
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        return 42
+
+    def parent(results):
+        value = yield sim.process(child())
+        results.append(value)
+
+    results = []
+    sim.process(parent(results))
+    sim.run()
+    assert results == [42]
+
+
+def test_event_value_delivered_to_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        got.append((yield ev))
+
+    sim.process(waiter())
+    sim.call_in(4.0, ev.succeed, "payload")
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_failed_event_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as e:
+            caught.append(str(e))
+
+    sim.process(waiter())
+    sim.call_in(1.0, ev.fail, ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_callback_on_already_triggered_event_still_fires():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("late")
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    sim.run()
+    assert got == ["late"]
+
+
+def test_any_of_triggers_on_first():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        winner = yield sim.any_of([sim.timeout(5.0, "slow"), sim.timeout(2.0, "fast")])
+        results.append((sim.now, list(winner.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(2.0, ["fast"])]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        yield sim.all_of([sim.timeout(5.0), sim.timeout(2.0), sim.timeout(9.0)])
+        times.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert times == [9.0]
+
+
+def test_interrupt_wakes_waiting_process():
+    sim = Simulator()
+    trace = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            trace.append("finished")
+        except Interrupt as itr:
+            trace.append(("interrupted", sim.now, itr.cause))
+
+    proc = sim.process(sleeper())
+    sim.call_in(3.0, proc.interrupt, "stop now")
+    sim.run()
+    assert trace == [("interrupted", 3.0, "stop now")]
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.call_in(5.0, proc.interrupt)
+    sim.run()
+    assert proc.triggered
+
+
+def test_stale_timeout_after_interrupt_does_not_double_resume():
+    sim = Simulator()
+    wakeups = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(10.0)
+            wakeups.append("timeout")
+        except Interrupt:
+            wakeups.append("interrupt")
+            yield sim.timeout(50.0)
+            wakeups.append("second sleep done")
+
+    proc = sim.process(sleeper())
+    sim.call_in(2.0, proc.interrupt)
+    sim.run()
+    # the original 10s timeout must NOT wake the process a second time
+    assert wakeups == ["interrupt", "second sleep done"]
+    assert sim.now == 52.0
+
+
+def test_unhandled_interrupt_kills_process():
+    sim = Simulator()
+
+    def stubborn():
+        yield sim.timeout(10.0)
+
+    proc = sim.process(stubborn())
+    sim.call_in(1.0, proc.interrupt)
+    sim.run()
+    assert proc.triggered
+    assert not proc.alive
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 123
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_resource_serializes_access():
+    sim = Simulator()
+    res = sim.resource(capacity=1)
+    spans = []
+
+    def user(name, hold):
+        yield res.request()
+        start = sim.now
+        yield sim.timeout(hold)
+        res.release()
+        spans.append((name, start, sim.now))
+
+    sim.process(user("a", 5.0))
+    sim.process(user("b", 3.0))
+    sim.run()
+    assert spans == [("a", 0.0, 5.0), ("b", 5.0, 8.0)]
+
+
+def test_resource_capacity_allows_parallelism():
+    sim = Simulator()
+    res = sim.resource(capacity=2)
+    done = []
+
+    def user(name):
+        yield res.request()
+        yield sim.timeout(4.0)
+        res.release()
+        done.append((name, sim.now))
+
+    for name in "abc":
+        sim.process(user(name))
+    sim.run()
+    assert done == [("a", 4.0), ("b", 4.0), ("c", 8.0)]
+
+
+def test_resource_release_without_request_raises():
+    sim = Simulator()
+    res = sim.resource(capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_counters():
+    sim = Simulator()
+    res = sim.resource(capacity=2)
+    res.request()
+    assert res.available == 1
+    res.request()
+    assert res.available == 0
+    res.request()  # queued
+    assert res.queue_length == 1
+    res.release()
+    sim.run()
+    assert res.queue_length == 0
+    assert res.available == 0
+
+
+def test_many_processes_complete():
+    sim = Simulator()
+    count = []
+
+    def proc(i):
+        yield sim.timeout(float(i % 17))
+        count.append(i)
+
+    for i in range(500):
+        sim.process(proc(i))
+    sim.run()
+    assert len(count) == 500

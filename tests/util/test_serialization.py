@@ -1,0 +1,82 @@
+"""Unit tests for canonical JSON and deep diffing."""
+
+from repro.util import canonical_json, content_hash, deep_diff, deep_get
+
+
+def test_canonical_json_sorts_keys():
+    assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+def test_content_hash_stable_under_key_order():
+    assert content_hash({"x": 1, "y": [1, 2]}) == content_hash({"y": [1, 2], "x": 1})
+
+
+def test_content_hash_changes_with_content():
+    assert content_hash({"x": 1}) != content_hash({"x": 2})
+
+
+def test_diff_identical_is_empty():
+    doc = {"a": {"b": [1, 2, {"c": 3}]}}
+    assert deep_diff(doc, doc) == []
+
+
+def test_diff_changed_scalar():
+    (entry,) = deep_diff({"a": 1}, {"a": 2})
+    assert (entry.path, entry.kind, entry.old, entry.new) == ("a", "changed", 1, 2)
+
+
+def test_diff_added_and_removed_keys():
+    entries = deep_diff({"a": 1}, {"b": 2})
+    kinds = {e.path: e.kind for e in entries}
+    assert kinds == {"a": "removed", "b": "added"}
+
+
+def test_diff_nested_path():
+    (entry,) = deep_diff({"cpu": {"freq": 2.2}}, {"cpu": {"freq": 2.4}})
+    assert entry.path == "cpu.freq"
+
+
+def test_diff_list_element():
+    (entry,) = deep_diff({"disks": [{"fw": "A1"}]}, {"disks": [{"fw": "B2"}]})
+    assert entry.path == "disks[0].fw"
+
+
+def test_diff_list_length_change():
+    entries = deep_diff({"d": [1]}, {"d": [1, 2]})
+    assert [(e.path, e.kind) for e in entries] == [("d[1]", "added")]
+
+
+def test_diff_type_change_is_changed():
+    (entry,) = deep_diff({"v": 1}, {"v": "1"})
+    assert entry.kind == "changed"
+
+
+def test_diff_str_rendering():
+    entries = deep_diff({"a": 1, "b": 2}, {"a": 3, "c": 4})
+    rendered = sorted(str(e)[0] for e in entries)
+    assert rendered == ["+", "-", "~"]
+
+
+def test_deep_get_simple():
+    assert deep_get({"a": {"b": 5}}, "a.b") == 5
+
+
+def test_deep_get_list_index():
+    assert deep_get({"a": {"b": [10, 20]}}, "a.b[1]") == 20
+
+
+def test_deep_get_nested_lists():
+    assert deep_get({"m": [[1, 2], [3, 4]]}, "m[1][0]") == 3
+
+
+def test_deep_get_missing_returns_default():
+    assert deep_get({"a": 1}, "a.b.c", default="missing") == "missing"
+    assert deep_get({"a": [1]}, "a[5]", default=None) is None
+
+
+def test_deep_get_path_from_diff_round_trip():
+    old = {"node": {"disks": [{"firmware": "GA07"}], "ram_gb": 64}}
+    new = {"node": {"disks": [{"firmware": "GA09"}], "ram_gb": 64}}
+    (entry,) = deep_diff(old, new)
+    assert deep_get(old, entry.path) == "GA07"
+    assert deep_get(new, entry.path) == "GA09"
