@@ -7,29 +7,27 @@ enough) at the price of partial cluster views.  The bench reports run
 counts and node-coverage over two weeks for both designs.
 """
 
-from repro.checksuite import family_by_name
-from repro.core import build_framework
+from repro import FrameworkBuilder
 from repro.oar import WorkloadConfig
+from repro.scenarios import ScenarioSpec
 from repro.scheduling import SchedulerPolicy
-from repro.testbed import CLUSTER_SPECS
 from repro.util import WEEK
 
 from conftest import paper_row, print_table
 
-_CLUSTERS = ("paravance", "grisou", "graoully")
+_SPEC = ScenarioSpec(
+    name="a1-pernode",
+    seed=7,
+    clusters=("paravance", "grisou", "graoully"),
+    families=("multireboot",),
+    policy=SchedulerPolicy(hardware_period_s=2 * 86400.0,
+                           software_period_s=2 * 86400.0),
+    workload=WorkloadConfig(target_utilization=0.65),
+)
 
 
 def _run(pernode: bool):
-    specs = [s for s in CLUSTER_SPECS if s.name in _CLUSTERS]
-    fw = build_framework(
-        seed=7,
-        specs=specs,
-        families=[family_by_name("multireboot")],
-        policy=SchedulerPolicy(hardware_period_s=2 * 86400.0,
-                               software_period_s=2 * 86400.0),
-        pernode=pernode,
-        workload_config=WorkloadConfig(target_utilization=0.65),
-    )
+    fw = FrameworkBuilder(_SPEC.derive(pernode=pernode)).build()
     fw.start(faults=False)
     fw.run_until(2 * WEEK)
     runs = len([r for r in fw.history.records if r.status != "UNSTABLE"])

@@ -7,25 +7,26 @@ reported"), faults accumulate unboundedly and experiments silently run on
 broken hardware.
 """
 
-from repro.core import CampaignConfig, run_campaign
+from repro import run_scenario
 from repro.oar import WorkloadConfig
-from repro.testbed import CLUSTER_SPECS
+from repro.scenarios import ScenarioSpec
 
 from conftest import paper_row, print_table
 
-_CLUSTERS = ("paravance", "grisou", "grimoire", "graoully", "nova",
-             "taurus", "suno", "chetemi")
+_SPEC = ScenarioSpec(
+    name="a2-testdriven",
+    seed=9,
+    months=1.0,
+    clusters=("paravance", "grisou", "grimoire", "graoully", "nova",
+              "taurus", "suno", "chetemi"),
+    backlog_faults=6,
+    fault_mean_interarrival_s=43_200.0,
+    workload=WorkloadConfig(target_utilization=0.4),
+)
 
 
 def _run(framework_enabled: bool):
-    specs = [s for s in CLUSTER_SPECS if s.name in _CLUSTERS]
-    _, report = run_campaign(CampaignConfig(
-        seed=9, months=1.0, specs=specs,
-        backlog_faults=6,
-        fault_mean_interarrival_s=43_200.0,
-        framework_enabled=framework_enabled,
-        workload=WorkloadConfig(target_utilization=0.4),
-    ))
+    _, report = run_scenario(_SPEC.derive(framework_enabled=framework_enabled))
     return report
 
 

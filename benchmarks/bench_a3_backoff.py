@@ -8,27 +8,25 @@ Compares, on a busy testbed over one week, three launcher designs:
 * no backoff (constant aggressive retry): even more wasted attempts.
 """
 
-from repro.checksuite import family_by_name
-from repro.core import build_framework
+from repro import FrameworkBuilder
 from repro.oar import WorkloadConfig
+from repro.scenarios import ScenarioSpec
 from repro.scheduling import SchedulerPolicy
-from repro.testbed import CLUSTER_SPECS
 from repro.util import HOUR, WEEK
 
 from conftest import paper_row, print_table
 
-_CLUSTERS = ("paravance", "grisou", "parasilo")
+_SPEC = ScenarioSpec(
+    name="a3-backoff",
+    seed=15,
+    clusters=("paravance", "grisou", "parasilo"),
+    families=("multireboot", "refapi"),
+    workload=WorkloadConfig(target_utilization=0.7),
+)
 
 
 def _run(policy: SchedulerPolicy, seed=15):
-    specs = [s for s in CLUSTER_SPECS if s.name in _CLUSTERS]
-    fw = build_framework(
-        seed=seed,
-        specs=specs,
-        families=[family_by_name("multireboot"), family_by_name("refapi")],
-        policy=policy,
-        workload_config=WorkloadConfig(target_utilization=0.7),
-    )
+    fw = FrameworkBuilder(_SPEC.derive(seed=seed, policy=policy)).build()
     fw.start(faults=False)
     fw.run_until(WEEK)
     records = fw.history.records

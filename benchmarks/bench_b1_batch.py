@@ -1,0 +1,57 @@
+"""B1 — the batch campaign runner: seed x scenario matrix throughput.
+
+Campaign worlds are independent simulations, so a sweep is embarrassingly
+parallel: ``run_campaigns`` fans the matrix over ``multiprocessing``
+workers.  This bench runs 4 seeds x 2 scenarios serially and with
+``workers=4``, checks the reports are bit-identical either way, and (on a
+multi-core box) that the parallel path is faster.
+"""
+
+import dataclasses
+import os
+import time
+
+from repro import run_campaigns, scenarios
+from repro.util import canonical_json
+
+from conftest import paper_row, print_table
+
+_SEEDS = (0, 1, 2, 3)
+
+
+def _matrix():
+    smoke = scenarios.get("tiny-smoke").derive(months=0.15)
+    stormy = scenarios.get("flaky-services").derive(
+        name="flaky-small", clusters=smoke.clusters, months=0.15,
+        backlog_faults=10, workload=smoke.workload)
+    return [smoke, stormy]
+
+
+def _doc(report):
+    return canonical_json(dataclasses.asdict(report))
+
+
+def bench_b1_batch(benchmark):
+    matrix = _matrix()
+    t0 = time.perf_counter()
+    serial = run_campaigns(matrix, seeds=_SEEDS, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_campaigns(matrix, seeds=_SEEDS, workers=4),
+        rounds=1, iterations=1)
+    t_parallel = time.perf_counter() - t0
+
+    rows = [
+        paper_row("matrix cells (2 scenarios x 4 seeds)", 8, len(parallel)),
+        paper_row("serial wall-clock (s)", "-", f"{t_serial:.1f}"),
+        paper_row("workers=4 wall-clock (s)", "-", f"{t_parallel:.1f}"),
+        paper_row("cpu count", "-", os.cpu_count()),
+    ]
+    print_table("B1: batch campaign matrix (seed x scenario)", rows)
+    assert len(parallel) == len(serial) == 8
+    assert [_doc(r.report) for r in serial] == [_doc(r.report) for r in parallel]
+    if (os.cpu_count() or 1) >= 4:
+        # embarrassingly parallel: expect a real speedup on a multi-core box
+        assert t_parallel < t_serial

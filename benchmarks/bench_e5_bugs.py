@@ -14,12 +14,10 @@ def bench_e5_bugs(benchmark, five_month_campaign, campaign_months):
     fw, report = five_month_campaign
     # the campaign itself runs once (session fixture); benchmark the
     # report-regeneration path that consumes its raw history
-    from repro.core.campaign import _build_report, CampaignConfig
+    from repro.core.campaign import _build_report
 
     benchmark(
-        _build_report, fw,
-        CampaignConfig(seed=1, months=campaign_months),
-        report.weekly_active_faults,
+        _build_report, fw, campaign_months, report.weekly_active_faults,
     )
     scale = campaign_months / 5.0
     rows = [

@@ -5,21 +5,25 @@ regenerates the three views the paper requires: per-test across clusters,
 per-cluster across tests, and the historical success trend.
 """
 
+from repro import FrameworkBuilder
 from repro.analysis import StatusPage
-from repro.core import build_framework
 from repro.oar import WorkloadConfig
-from repro.testbed import CLUSTER_SPECS
+from repro.scenarios import ScenarioSpec
 from repro.util import WEEK
 
 from conftest import paper_row, print_table
 
-_CLUSTERS = ("grisou", "grimoire", "graoully", "nova", "taurus")
+_SPEC = ScenarioSpec(
+    name="e8-statuspage",
+    seed=3,
+    clusters=("grisou", "grimoire", "graoully", "nova", "taurus"),
+    fault_mean_interarrival_s=86_400.0,
+    workload=WorkloadConfig(target_utilization=0.3),
+)
 
 
 def _run_week():
-    specs = [s for s in CLUSTER_SPECS if s.name in _CLUSTERS]
-    fw = build_framework(seed=3, specs=specs,
-                         workload_config=WorkloadConfig(target_utilization=0.3))
+    fw = FrameworkBuilder(_SPEC).build()
     for _ in range(8):
         fw.injector.inject()
     fw.start()

@@ -33,7 +33,8 @@ def campaign_months() -> float:
 @pytest.fixture(scope="session")
 def five_month_campaign(campaign_months):
     """One full-scale closed-loop campaign, shared by E5 and E6."""
-    from repro.core import CampaignConfig, run_campaign
+    from repro import run_scenario, scenarios
 
-    fw, report = run_campaign(CampaignConfig(seed=1, months=campaign_months))
+    fw, report = run_scenario(scenarios.get("paper-baseline"),
+                              seed=1, months=campaign_months)
     return fw, report

@@ -6,20 +6,24 @@ faults arrive, the 751 test configurations detect them, bugs get filed and
 fixed, reliability climbs — slide 22 ("118 bugs filed, inc. 84 already
 fixed") and slide 23 ("85 % of tests successful in February -> 93 %").
 
+The world is the ``paper-baseline`` scenario preset; the horizon is the
+only thing overridden here.
+
 Run:  python examples/campaign_simulation.py [months]
       (default 2 months to stay quick; the E5/E6 benches run 5)
 """
 
 import sys
 
-from repro.core import CampaignConfig, run_campaign
+from repro import run_scenario, scenarios
 from repro.util import WEEK
 
 
 def main() -> None:
     months = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
     print(f"running a {months:.0f}-month campaign (simulated)...")
-    fw, report = run_campaign(CampaignConfig(seed=1, months=months))
+    fw, report = run_scenario(scenarios.get("paper-baseline"),
+                              seed=1, months=months)
     print()
     print(report.summary())
     print("\nweekly success rate (the slide-23 trend):")

@@ -1,48 +1,41 @@
 #!/usr/bin/env python
-"""Quickstart: verify a node against the Reference API with g5k-checks.
+"""Quickstart: declarative scenarios, presets, and one small campaign.
 
-Builds the paper-exact synthetic Grid'5000 (8 sites / 32 clusters /
-894 nodes / 8490 cores), silently flips a BIOS option on one node — the
-classic slide-13 bug — and shows how g5k-checks pinpoints the divergence.
+A simulated world is described by a frozen, JSON-serializable
+``ScenarioSpec``.  The preset library ships the paper's own regime
+(``paper-baseline``), its ablations, and stress variants; ``derive()``
+makes new scenarios out of old ones without touching any constructor.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.checks import run_g5k_checks
-from repro.faults import FaultContext, FaultInjector, FaultKind, ServiceHealth
-from repro.nodes import MachinePark
-from repro.testbed import ReferenceApi, build_grid5000
-from repro.util import RngStreams, Simulator
+from repro import run_scenario, scenarios
+from repro.scenarios import ScenarioSpec
 
 
 def main() -> None:
-    sim = Simulator()
-    rngs = RngStreams(seed=42)
-    testbed = build_grid5000()
-    print(f"testbed: {testbed.site_count} sites, {testbed.cluster_count} clusters, "
-          f"{testbed.node_count} nodes, {testbed.total_cores} cores")
+    print("scenario presets:")
+    for spec in scenarios.all_presets():
+        print(f"  {spec.name:<18} {spec.description}")
 
-    refapi = ReferenceApi(testbed)
-    machines = MachinePark.from_testbed(sim, testbed, rngs)
+    # Scenarios are data: they serialize, hash, and round-trip exactly.
+    smoke = scenarios.get("tiny-smoke")
+    assert ScenarioSpec.from_json(smoke.to_json()) == smoke
+    print(f"\n'{smoke.name}' as JSON:\n{smoke.to_json(indent=2)}")
 
-    # A pristine node passes.
-    report = run_g5k_checks(machines["graphene-42"], refapi)
-    print(f"\ngraphene-42 before any fault: {report.summary()}")
+    # Run it (a ~1.5-simulated-week closed loop on five clusters).
+    fw, report = run_scenario(smoke, seed=1)
+    print()
+    print(report.summary())
 
-    # A maintenance operation silently re-enables C-states somewhere...
-    ctx = FaultContext.build(machines, ServiceHealth(), ("debian8-std",))
-    injector = FaultInjector(sim, ctx, rngs)
-    fault = injector.inject(FaultKind.CPU_CSTATES)
-    print(f"\ninjected fault: {fault.kind.value} on {fault.target}")
-
-    # ... and g5k-checks catches it at the next boot.
-    report = run_g5k_checks(machines[fault.target], refapi)
-    print(f"\n{report.summary()}")
-
-    # The operator fixes it; the node verifies clean again.
-    injector.fix(fault)
-    report = run_g5k_checks(machines[fault.target], refapi)
-    print(f"\nafter the fix: {report.summary()}")
+    # Variants are one derive() away — no kwargs plumbing.
+    stormy = smoke.derive(name="smoke-storm",
+                          fault_mean_interarrival_s=0.3 * 86_400.0)
+    _, stormy_report = run_scenario(stormy, seed=1)
+    print()
+    print(stormy_report.summary())
+    print("\nsame world, three-times the fault rate: "
+          f"{report.bugs_filed} -> {stormy_report.bugs_filed} bugs filed")
 
 
 if __name__ == "__main__":

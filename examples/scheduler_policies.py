@@ -8,30 +8,29 @@ Compares, over two simulated weeks on a busy testbed:
   UNSTABLE builds);
 * the per-node alternative of slide 23's open question.
 
+Each variant is a ``derive()`` of one base ``ScenarioSpec`` — policies are
+data, not wiring.
+
 Run:  python examples/scheduler_policies.py
 """
 
-from repro.checksuite import family_by_name
-from repro.core import build_framework
+from repro import FrameworkBuilder
 from repro.oar import WorkloadConfig
+from repro.scenarios import ScenarioSpec
 from repro.scheduling import SchedulerPolicy
-from repro.testbed import CLUSTER_SPECS
 from repro.util import WEEK
 
-CLUSTERS = ("grisou", "grimoire", "graoully", "paravance", "parasilo")
-FAMILIES = ("multireboot", "refapi")
+BASE = ScenarioSpec(
+    name="policy-duel",
+    seed=5,
+    clusters=("grisou", "grimoire", "graoully", "paravance", "parasilo"),
+    families=("multireboot", "refapi"),
+    workload=WorkloadConfig(target_utilization=0.7),
+)
 
 
-def run(label: str, policy: SchedulerPolicy, pernode: bool = False) -> None:
-    specs = [s for s in CLUSTER_SPECS if s.name in CLUSTERS]
-    fw = build_framework(
-        seed=5,
-        specs=specs,
-        families=[family_by_name(n) for n in FAMILIES],
-        policy=policy,
-        pernode=pernode,
-        workload_config=WorkloadConfig(target_utilization=0.7),
-    )
+def run(label: str, spec: ScenarioSpec) -> None:
+    fw = FrameworkBuilder(spec).build()
     fw.start(faults=False)
     fw.run_until(2 * WEEK)
     records = fw.history.records
@@ -43,10 +42,12 @@ def run(label: str, policy: SchedulerPolicy, pernode: bool = False) -> None:
 
 def main() -> None:
     print("two weeks on a 70%-utilized testbed:\n")
-    run("paper scheduler", SchedulerPolicy())
+    run("paper scheduler", BASE)
     run("no availability check",
-        SchedulerPolicy(check_resources_first=False, max_concurrent_per_site=4))
-    run("per-node scheduling", SchedulerPolicy(), pernode=True)
+        BASE.derive(name="naive",
+                    policy=SchedulerPolicy(check_resources_first=False,
+                                           max_concurrent_per_site=4)))
+    run("per-node scheduling", BASE.derive(name="pernode-duel", pernode=True))
     print("\nthe paper scheduler avoids wasted (UNSTABLE) builds; per-node")
     print("scheduling runs hardware tests far more often, one node at a time.")
 

@@ -8,13 +8,17 @@ success trend — the views the paper's requirements call for.
 Run:  python examples/status_page.py
 """
 
+from repro import FrameworkBuilder
 from repro.analysis import StatusPage
-from repro.core import build_framework
+from repro.oar import WorkloadConfig
+from repro.scenarios import ScenarioSpec
 from repro.util import WEEK
 
 
 def main() -> None:
-    fw = build_framework(seed=3)
+    spec = ScenarioSpec(name="status-page", seed=3, workload=WorkloadConfig(),
+                        fault_mean_interarrival_s=86_400.0)
+    fw = FrameworkBuilder(spec).build()
     for _ in range(12):  # an unhealthy testbed makes an interesting page
         fw.injector.inject()
     fw.start()

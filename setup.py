@@ -1,12 +1,25 @@
-"""Legacy setup shim.
+"""Packaging for the repro reproduction.
 
-The offline environment ships setuptools without the ``wheel`` package, so
-PEP 517 editable installs (which build a wheel) fail.  This shim lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
-``pip install -e .`` on environments where pip falls back to it) use the
-legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+Metadata lives here (there is no pyproject.toml): the offline environment
+ships setuptools without the ``wheel`` package, so PEP 517 builds (which
+build a wheel) fail; the legacy ``setup.py develop`` path works everywhere
+(``pip install -e . --no-use-pep517 --no-build-isolation``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.1.0",
+    description="Reproduction of 'Towards Trustworthy Testbeds thanks to "
+                "Throughout Testing' (Nussbaum, REPPAR @ IPDPS 2017)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-campaign = repro.cli:main",
+        ],
+    },
+)

@@ -7,30 +7,78 @@ describes: g5k-checks, OAR, Kadeploy, KaVLAN, monitoring, a Jenkins-shaped
 CI server, the external availability-aware test scheduler, 16 test-script
 families (751 configurations) and the closed bug-filing/fixing loop.
 
+Worlds are described declaratively by a :class:`~repro.scenarios.ScenarioSpec`
+(frozen, JSON-serializable) and come either from the preset library or from
+``derive()``-ing one.
+
 Quickstart::
 
-    from repro import build_framework
-    fw = build_framework(seed=1)
+    from repro import run_scenario, scenarios
+
+    spec = scenarios.get("tiny-smoke")        # or "paper-baseline", ...
+    fw, report = run_scenario(spec, seed=1)
+    print(report.summary())
+
+Sweep a seed × scenario matrix across worker processes::
+
+    from repro import run_campaigns, summarize_runs
+
+    runs = run_campaigns(["tiny-smoke", "flaky-services"],
+                         seeds=range(4), workers=4)
+    print(summarize_runs(runs))
+
+For finer control, assemble the world yourself (and swap subsystem
+backends via the registry)::
+
+    from repro import FrameworkBuilder, scenarios
+
+    fw = FrameworkBuilder(scenarios.get("pernode")).with_seed(7).build()
     fw.start()
-    fw.run_until(7 * 86400)          # one simulated week
+    fw.run_until(7 * 86400)                   # one simulated week
     print(fw.tracker.filed_count, "bugs filed")
+
+``build_framework()`` / ``run_campaign()`` remain as thin back-compat
+shims over the builder.  The ``repro-campaign`` console script runs any
+named preset from the shell.
 """
 
+from . import scenarios
 from .core import (
     CampaignConfig,
     CampaignReport,
+    CampaignRun,
+    FrameworkBuilder,
+    MetricSummary,
+    SubsystemRegistry,
     TestingFramework,
+    aggregate_runs,
     build_framework,
+    register_subsystem,
     run_campaign,
+    run_campaigns,
+    run_scenario,
+    summarize_runs,
 )
+from .scenarios import ScenarioSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "build_framework",
+    "scenarios",
+    "ScenarioSpec",
+    "FrameworkBuilder",
+    "SubsystemRegistry",
+    "register_subsystem",
     "TestingFramework",
+    "build_framework",
     "CampaignConfig",
     "CampaignReport",
+    "CampaignRun",
+    "MetricSummary",
     "run_campaign",
+    "run_scenario",
+    "run_campaigns",
+    "aggregate_runs",
+    "summarize_runs",
     "__version__",
 ]

@@ -1,0 +1,86 @@
+"""``repro-campaign``: run named scenario presets from the shell.
+
+Examples::
+
+    repro-campaign --list
+    repro-campaign tiny-smoke
+    repro-campaign paper-baseline --months 1
+    repro-campaign tiny-smoke flaky-services --seeds 0,1,2,3 --workers 4
+    repro-campaign tiny-smoke --json > report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Optional, Sequence
+
+from . import scenarios
+from .core.batch import run_campaigns, summarize_runs
+
+__all__ = ["main"]
+
+
+def _parse_seeds(text: str) -> list[int]:
+    """Comma-separated seed list: '0,1,2' -> [0, 1, 2]."""
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seeds must be a comma-separated integer list, got {text!r}")
+    if not seeds:
+        raise argparse.ArgumentTypeError("empty seed list")
+    return seeds
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Run closed-loop testbed campaigns from named scenario "
+                    "presets (see --list).",
+    )
+    parser.add_argument("scenario", nargs="*", default=["tiny-smoke"],
+                        help="preset name(s); default: tiny-smoke")
+    parser.add_argument("--seeds", type=_parse_seeds, default=[0],
+                        metavar="a,b,c",
+                        help="comma-separated seed list (default: 0)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: min(jobs, cpus))")
+    parser.add_argument("--months", type=float, default=None,
+                        help="override every scenario's horizon")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full reports as JSON on stdout")
+    parser.add_argument("--list", action="store_true", dest="list_presets",
+                        help="list available presets and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_presets:
+        for spec in scenarios.all_presets():
+            print(f"{spec.name:<18} {spec.description}")
+        return 0
+    try:
+        runs = run_campaigns(args.scenario, seeds=args.seeds,
+                             workers=args.workers, months=args.months)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([dataclasses.asdict(r.report) for r in runs],
+                         sort_keys=True, indent=2))
+        return 0
+    for run in runs:
+        print(run.report.summary())
+        print()
+    if len(runs) > 1:
+        print("aggregate (mean ± 95% CI across seeds):")
+        print(summarize_runs(runs))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,22 @@
 """The paper's contribution: the testing framework and campaign loop."""
 
+from .batch import (
+    CampaignRun,
+    MetricSummary,
+    aggregate_runs,
+    run_campaigns,
+    summarize_runs,
+)
 from .bugtracker import Bug, BugStatus, BugTracker, OperatorTeam
-from .campaign import CampaignConfig, CampaignReport, run_campaign
+from .builder import (
+    FrameworkBuild,
+    FrameworkBuilder,
+    SubsystemRegistry,
+    SUBSYSTEM_ORDER,
+    default_registry,
+    register_subsystem,
+)
+from .campaign import CampaignConfig, CampaignReport, run_campaign, run_scenario
 from .framework import TestingFramework, build_framework
 
 __all__ = [
@@ -11,7 +26,19 @@ __all__ = [
     "OperatorTeam",
     "TestingFramework",
     "build_framework",
+    "FrameworkBuild",
+    "FrameworkBuilder",
+    "SubsystemRegistry",
+    "SUBSYSTEM_ORDER",
+    "default_registry",
+    "register_subsystem",
     "CampaignConfig",
     "CampaignReport",
+    "CampaignRun",
+    "MetricSummary",
     "run_campaign",
+    "run_scenario",
+    "run_campaigns",
+    "aggregate_runs",
+    "summarize_runs",
 ]

@@ -10,6 +10,12 @@ The loop: faults arrive (plus a pre-existing *backlog* — February started
 with an unhealthy testbed), tests detect them, bugs get filed, operators
 fix them, success rates climb.  The A2 ablation disables the framework and
 watches faults accumulate instead.
+
+:func:`run_scenario` is the canonical entry point: it takes a declarative
+:class:`~repro.scenarios.ScenarioSpec` (e.g. a named preset).
+:func:`run_campaign` + :class:`CampaignConfig` survive as a back-compat
+shim over it; :func:`repro.core.batch.run_campaigns` fans a seed×scenario
+matrix over worker processes.
 """
 
 from __future__ import annotations
@@ -19,17 +25,22 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..checksuite.base import CheckFamily
 from ..oar.workload import WorkloadConfig
+from ..scenarios.spec import ScenarioSpec
 from ..scheduling.policies import SchedulerPolicy
 from ..testbed.generator import ClusterSpec
 from ..util.simclock import DAY, MONTH, WEEK
-from .framework import TestingFramework, build_framework
+from .builder import FrameworkBuilder
+from .framework import TestingFramework
 
-__all__ = ["CampaignConfig", "CampaignReport", "run_campaign"]
+__all__ = ["CampaignConfig", "CampaignReport", "run_campaign", "run_scenario"]
 
 
 @dataclass(frozen=True)
 class CampaignConfig:
+    """Legacy kwargs bundle; prefer :class:`~repro.scenarios.ScenarioSpec`."""
+
     seed: int = 0
     months: float = 5.0
     specs: Optional[Sequence[ClusterSpec]] = None
@@ -40,13 +51,31 @@ class CampaignConfig:
     #: slide-22 band (118 filed) while letting fixes outpace arrivals — the
     #: regime behind the paper's improving reliability.
     fault_mean_interarrival_s: float = 2.2 * DAY
-    policy: SchedulerPolicy = SchedulerPolicy()
-    workload: WorkloadConfig = WorkloadConfig(target_utilization=0.6)
+    policy: SchedulerPolicy = field(default_factory=SchedulerPolicy)
+    workload: WorkloadConfig = field(
+        default_factory=lambda: WorkloadConfig(target_utilization=0.6))
     operator_speedup: float = 1.0
     #: A2 ablation: with the framework off, nothing detects or fixes faults.
     framework_enabled: bool = True
     pernode: bool = False
     executors: int = 16
+
+    def to_scenario(self, name: str = "") -> ScenarioSpec:
+        """The declarative equivalent (minus any explicit ``specs`` list,
+        which is not name-addressable and must ride as a builder override)."""
+        return ScenarioSpec(
+            name=name,
+            seed=self.seed,
+            months=self.months,
+            backlog_faults=self.backlog_faults,
+            fault_mean_interarrival_s=self.fault_mean_interarrival_s,
+            policy=self.policy,
+            workload=self.workload,
+            operator_speedup=self.operator_speedup,
+            framework_enabled=self.framework_enabled,
+            pernode=self.pernode,
+            executors=self.executors,
+        )
 
 
 @dataclass
@@ -71,10 +100,17 @@ class CampaignReport:
     unstable_builds: int
     weekly_active_faults: list[tuple[float, int]] = field(default_factory=list)
     bugs_by_family: dict[str, int] = field(default_factory=dict)
+    # provenance: the spec name and seed the report came from (the name is
+    # empty for legacy run_campaign callers, keeping summary() unchanged)
+    scenario: str = ""
+    seed: int = 0
 
     def summary(self) -> str:
+        head = f"campaign over {self.months:.1f} months"
+        if self.scenario:
+            head += f" [{self.scenario} @ seed {self.seed}]"
         lines = [
-            f"campaign over {self.months:.1f} months:",
+            head + ":",
             f"  bugs filed: {self.bugs_filed} (fixed: {self.bugs_fixed}, "
             f"open: {self.bugs_open}, unexplained: {self.bugs_unexplained})",
             f"  ground truth: {self.faults_injected} faults injected, "
@@ -89,25 +125,39 @@ class CampaignReport:
         return "\n".join(lines)
 
 
-def run_campaign(config: CampaignConfig = CampaignConfig()
-                 ) -> tuple[TestingFramework, CampaignReport]:
-    """Run one campaign; returns the world and the report."""
-    fw = build_framework(
-        seed=config.seed,
-        specs=config.specs,
-        policy=config.policy,
-        workload_config=config.workload,
-        executors=config.executors,
-        fault_mean_interarrival_s=config.fault_mean_interarrival_s,
-        operator_speedup=config.operator_speedup,
-        pernode=config.pernode,
-    )
-    # February's backlog: the testbed is already unhealthy when testing starts.
-    for _ in range(config.backlog_faults):
-        fw.injector.inject()
-    fw.start(workload=True, faults=True, testing=config.framework_enabled)
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    months: Optional[float] = None,
+    cluster_specs: Optional[Sequence[ClusterSpec]] = None,
+    families: Optional[Sequence[CheckFamily]] = None,
+) -> tuple[TestingFramework, CampaignReport]:
+    """Run one campaign described by ``spec``; returns the world + report.
 
-    horizon = config.months * MONTH
+    ``seed``/``months`` override the spec's values (the batch runner uses
+    this to fan one preset across a seed matrix); ``cluster_specs`` and
+    ``families`` are the non-declarative escape hatches forwarded to the
+    :class:`FrameworkBuilder`.
+    """
+    overrides = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    if months is not None:
+        overrides["months"] = months
+    if overrides:
+        spec = spec.derive(**overrides)
+    builder = FrameworkBuilder(spec)
+    if cluster_specs is not None:
+        builder.with_cluster_specs(cluster_specs)
+    if families is not None:
+        builder.with_families(families)
+    fw = builder.build()
+    # February's backlog: the testbed is already unhealthy when testing starts.
+    for _ in range(spec.backlog_faults):
+        fw.injector.inject()
+    fw.start(workload=True, faults=True, testing=spec.framework_enabled)
+
+    horizon = spec.months * MONTH
     weekly_active: list[tuple[float, int]] = []
     t = 0.0
     while t < horizon:
@@ -115,8 +165,17 @@ def run_campaign(config: CampaignConfig = CampaignConfig()
         fw.run_until(t)
         weekly_active.append((t, len(fw.ground_truth.active())))
 
-    report = _build_report(fw, config, weekly_active)
+    report = _build_report(fw, spec.months, weekly_active,
+                           scenario=spec.name, seed=spec.seed)
     return fw, report
+
+
+def run_campaign(config: Optional[CampaignConfig] = None
+                 ) -> tuple[TestingFramework, CampaignReport]:
+    """Back-compat shim: run one campaign from a :class:`CampaignConfig`."""
+    if config is None:
+        config = CampaignConfig()
+    return run_scenario(config.to_scenario(), cluster_specs=config.specs)
 
 
 def _median_days(values: list[float]) -> float:
@@ -125,9 +184,10 @@ def _median_days(values: list[float]) -> float:
     return float(np.median(values)) / DAY
 
 
-def _build_report(fw: TestingFramework, config: CampaignConfig,
-                  weekly_active: list[tuple[float, int]]) -> CampaignReport:
-    horizon = config.months * MONTH
+def _build_report(fw: TestingFramework, months: float,
+                  weekly_active: list[tuple[float, int]],
+                  scenario: str = "", seed: int = 0) -> CampaignReport:
+    horizon = months * MONTH
     gt = fw.ground_truth
     tracker = fw.tracker
     history = fw.history
@@ -140,7 +200,7 @@ def _build_report(fw: TestingFramework, config: CampaignConfig,
         bugs_by_family[bug.family] = bugs_by_family.get(bug.family, 0) + 1
     unstable = sum(1 for r in history.records if r.status == "UNSTABLE")
     return CampaignReport(
-        months=config.months,
+        months=months,
         bugs_filed=tracker.filed_count,
         bugs_fixed=tracker.fixed_count,
         bugs_open=tracker.open_count,
@@ -157,4 +217,6 @@ def _build_report(fw: TestingFramework, config: CampaignConfig,
         unstable_builds=unstable,
         weekly_active_faults=weekly_active,
         bugs_by_family=bugs_by_family,
+        scenario=scenario,
+        seed=seed,
     )

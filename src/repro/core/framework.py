@@ -1,14 +1,14 @@
-"""The testbed testing framework: full wiring of every subsystem.
+"""The testbed testing framework handle.
 
-:func:`build_framework` assembles the world of the paper:
+:class:`TestingFramework` is the fully-wired simulated world of the paper:
+the testbed substrate, the user-facing services (OAR + synthetic workload,
+Kadeploy, KaVLAN, monitoring), the fault injector that silently breaks
+things, and Jenkins + the external scheduler + the bug tracker/operator
+team that close the loop ("test-driven operations", slide 23).
 
-* the testbed substrate (descriptions, Reference API, topology, machines);
-* the services users see (OAR + synthetic workload, Kadeploy, KaVLAN,
-  monitoring);
-* the fault injector that silently breaks things;
-* Jenkins with one job per test family, the external scheduler that
-  triggers builds, and the bug tracker + operator team that close the
-  loop ("test-driven operations", slide 23).
+Assembly lives in :mod:`repro.core.builder` (declarative
+:class:`~repro.scenarios.ScenarioSpec` + pluggable subsystem registry);
+:func:`build_framework` remains as a thin keyword-argument shim over it.
 """
 
 from __future__ import annotations
@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..checksuite.base import CheckContext, CheckFamily, TestOutcome
-from ..checksuite.registry import ALL_FAMILIES
 from ..ci.api import JenkinsApi
 from ..ci.job import BuildStatus
 from ..ci.server import JenkinsServer
@@ -26,24 +25,23 @@ from ..faults.catalog import FaultContext
 from ..faults.injector import FaultInjector
 from ..faults.services import ServiceHealth
 from ..kadeploy.deployment import Kadeploy
-from ..kadeploy.images import REFERENCE_IMAGES
 from ..kavlan.manager import KavlanManager
 from ..monitoring.probes import Ganglia, Kwapi
 from ..nodes.machine import MachinePark, PowerState
 from ..oar.database import OarDatabase
 from ..oar.server import OarServer
 from ..oar.workload import WorkloadConfig, WorkloadGenerator
+from ..scenarios.spec import ScenarioSpec
 from ..scheduling.launcher import ExternalScheduler
-from ..scheduling.pernode import PerNodeVariant
 from ..scheduling.policies import SchedulerPolicy
 from ..testbed.description import TestbedDescription
-from ..testbed.generator import CLUSTER_SPECS, ClusterSpec, build_grid5000
+from ..testbed.generator import ClusterSpec
 from ..testbed.refapi import ReferenceApi
-from ..testbed.topology import build_topology
 from ..util.events import Simulator
 from ..util.rng import RngStreams
 from ..analysis.history import BuildHistory
 from .bugtracker import BugTracker, OperatorTeam
+from .builder import FrameworkBuilder
 
 __all__ = ["TestingFramework", "build_framework"]
 
@@ -176,62 +174,34 @@ def build_framework(
     seed: int = 0,
     specs: Optional[Sequence[ClusterSpec]] = None,
     families: Optional[Sequence[CheckFamily]] = None,
-    policy: SchedulerPolicy = SchedulerPolicy(),
-    workload_config: WorkloadConfig = WorkloadConfig(),
+    policy: Optional[SchedulerPolicy] = None,
+    workload_config: Optional[WorkloadConfig] = None,
     executors: int = 16,
     fault_mean_interarrival_s: float = 86_400.0,
     operator_speedup: float = 1.0,
     pernode: bool = False,
 ) -> TestingFramework:
-    """Assemble (but do not start) the whole simulated world."""
-    sim = Simulator()
-    rngs = RngStreams(seed=seed)
-    testbed = build_grid5000(specs if specs is not None else CLUSTER_SPECS)
-    refapi = ReferenceApi(testbed)
-    machines = MachinePark.from_testbed(sim, testbed, rngs)
-    services = ServiceHealth()
-    topology = build_topology(testbed)
-    oardb = OarDatabase(refapi, services)
-    oar = OarServer(sim, oardb, machines)
-    workload = WorkloadGenerator(sim, oar, testbed, rngs, workload_config)
-    kadeploy = Kadeploy(sim, machines, services, rngs)
-    kavlan = KavlanManager(sim, topology, services,
-                           [s.uid for s in testbed.sites])
-    kwapi = Kwapi(sim, machines, testbed, services)
-    ganglia = Ganglia(sim, machines)
-    image_names = tuple(img.name for img in REFERENCE_IMAGES)
-    fault_ctx = FaultContext.build(machines, services, image_names)
-    injector = FaultInjector(sim, fault_ctx, rngs,
-                             mean_interarrival_s=fault_mean_interarrival_s)
-    jenkins = JenkinsServer(sim, executors=executors)
-    api = JenkinsApi(jenkins)
-    tracker = BugTracker(sim, injector.ground_truth, fault_ctx)
-    operators = OperatorTeam(sim, tracker, injector, rngs,
-                             speedup=operator_speedup)
-    checkctx = CheckContext(
-        sim=sim, testbed=testbed, refapi=refapi, machines=machines,
-        services=services, oar=oar, oardb=oardb, kadeploy=kadeploy,
-        kavlan=kavlan, kwapi=kwapi, ganglia=ganglia, topology=topology,
-        rngs=rngs,
+    """Assemble (but do not start) the whole simulated world.
+
+    Back-compat shim: folds the keyword arguments into a
+    :class:`~repro.scenarios.ScenarioSpec` and delegates to
+    :class:`~repro.core.builder.FrameworkBuilder`.  New code should build
+    a spec (or fetch a preset from :mod:`repro.scenarios`) directly.
+    """
+    spec = ScenarioSpec(
+        name="adhoc",
+        seed=seed,
+        policy=policy if policy is not None else SchedulerPolicy(),
+        workload=workload_config if workload_config is not None
+        else WorkloadConfig(),
+        executors=executors,
+        fault_mean_interarrival_s=fault_mean_interarrival_s,
+        operator_speedup=operator_speedup,
+        pernode=pernode,
     )
-    base_families = list(families if families is not None else ALL_FAMILIES)
-    if pernode:
-        base_families = [PerNodeVariant(f) if f.kind == "hardware" else f
-                         for f in base_families]
-    history = BuildHistory()
-    framework = TestingFramework(
-        sim=sim, rngs=rngs, testbed=testbed, refapi=refapi, machines=machines,
-        services=services, oardb=oardb, oar=oar, workload=workload,
-        kadeploy=kadeploy, kavlan=kavlan, kwapi=kwapi, ganglia=ganglia,
-        fault_ctx=fault_ctx, injector=injector, jenkins=jenkins, api=api,
-        tracker=tracker, operators=operators,
-        scheduler=None,  # set below (needs the family list)
-        checkctx=checkctx, families=base_families, history=history,
-    )
-    framework.register_family_jobs()
-    scheduler = ExternalScheduler(
-        sim, jenkins, oar, testbed, base_families, policy=policy,
-        on_build_done=lambda cell, build: history.record(cell, build),
-    )
-    framework.scheduler = scheduler
-    return framework
+    builder = FrameworkBuilder(spec)
+    if specs is not None:
+        builder.with_cluster_specs(specs)
+    if families is not None:
+        builder.with_families(families)
+    return builder.build()

@@ -1,0 +1,12 @@
+"""Declarative scenario layer: specs, presets, serialization.
+
+>>> from repro import scenarios
+>>> spec = scenarios.get("tiny-smoke")
+>>> scenarios.ScenarioSpec.from_dict(spec.to_dict()) == spec
+True
+"""
+
+from .presets import all_presets, get, names, register
+from .spec import ScenarioSpec
+
+__all__ = ["ScenarioSpec", "get", "names", "register", "all_presets"]

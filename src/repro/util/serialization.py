@@ -9,12 +9,23 @@ g5k-checks when comparing acquired facts against the reference.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
+import types
+import typing
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterator, Type, TypeVar, Union
 
-__all__ = ["canonical_json", "content_hash", "DiffEntry", "deep_diff", "deep_get"]
+__all__ = [
+    "canonical_json",
+    "content_hash",
+    "DiffEntry",
+    "deep_diff",
+    "deep_get",
+    "encode_dataclass",
+    "decode_dataclass",
+]
 
 
 def canonical_json(doc: Any) -> str:
@@ -25,6 +36,102 @@ def canonical_json(doc: Any) -> str:
 def content_hash(doc: Any) -> str:
     """Short stable content hash of a JSON document."""
     return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()[:16]
+
+
+# -- dataclass <-> JSON document codec ----------------------------------------
+#
+# Declarative configuration (ScenarioSpec and its nested policy/workload
+# dataclasses) must survive a JSON round-trip *exactly* — tuples come back
+# as tuples, nested dataclasses as the right type — so that
+# ``decode_dataclass(cls, encode_dataclass(x)) == x`` holds and scenario
+# files can be hashed with :func:`content_hash`.
+
+_T = TypeVar("_T")
+
+
+def encode_dataclass(obj: Any) -> Any:
+    """Recursively convert a dataclass instance to a JSON-able document."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: encode_dataclass(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, (list, tuple)):
+        return [encode_dataclass(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): encode_dataclass(v) for k, v in obj.items()}
+    return obj
+
+
+def _decode_key(hint: Any, key: str) -> Any:
+    """Undo encode_dataclass's str() coercion of dict keys."""
+    if hint is Any or hint is str:
+        return key
+    if hint is int:
+        return int(key)
+    if hint is float:
+        return float(key)
+    raise ValueError(f"unsupported dict key type {hint!r} (JSON keys are "
+                     f"strings; only str/int/float keys round-trip)")
+
+
+def _decode_value(hint: Any, value: Any) -> Any:
+    origin = typing.get_origin(hint)
+    # types.UnionType (PEP 604 `X | Y`) only exists on Python >= 3.10
+    if origin is Union or isinstance(hint, getattr(types, "UnionType", ())):
+        arms = [a for a in typing.get_args(hint) if a is not type(None)]
+        if value is None:
+            return None
+        for arm in arms:
+            try:
+                return _decode_value(arm, value)
+            except (TypeError, ValueError):
+                continue
+        raise ValueError(f"cannot decode {value!r} as {hint}")
+    if dataclasses.is_dataclass(hint):
+        return decode_dataclass(hint, value)
+    if origin is tuple:
+        args = typing.get_args(hint)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_decode_value(args[0], v) for v in value)
+        return tuple(_decode_value(a, v) for a, v in zip(args, value))
+    if origin is list:
+        (arm,) = typing.get_args(hint) or (Any,)
+        return [_decode_value(arm, v) for v in value]
+    if origin is dict:
+        args = typing.get_args(hint)
+        key_arm = args[0] if len(args) == 2 else Any
+        val_arm = args[1] if len(args) == 2 else Any
+        return {_decode_key(key_arm, k): _decode_value(val_arm, v)
+                for k, v in value.items()}
+    if hint is float and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if hint is int and isinstance(value, bool):
+        raise ValueError(f"expected int, got {value!r}")
+    if isinstance(hint, type) and not isinstance(value, hint):
+        raise ValueError(f"expected {hint.__name__}, got {value!r}")
+    return value
+
+
+def decode_dataclass(cls: Type[_T], data: Any) -> _T:
+    """Rebuild a (possibly nested) dataclass from :func:`encode_dataclass`
+    output, honouring the class's type annotations.
+
+    Unknown keys raise ``ValueError`` — a typo in a scenario file should be
+    a loud error, not a silently-ignored knob.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"expected a mapping for {cls.__name__}, got {data!r}")
+    hints = typing.get_type_hints(cls)
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s): {', '.join(sorted(unknown))}")
+    kwargs = {
+        name: _decode_value(hints[name], value) for name, value in data.items()
+    }
+    return cls(**kwargs)
 
 
 @dataclass(frozen=True)

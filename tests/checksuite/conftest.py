@@ -1,10 +1,15 @@
-"""Shared fixture: a small wired world for exercising test families."""
+"""Shared fixtures: a small wired world for exercising test families.
+
+``run_family`` is provided as a fixture (not a module-level helper) so
+test modules never import from ``conftest`` — relative imports of conftest
+break pytest's rootdir-based collection when ``tests/`` is not a package.
+"""
 
 import pytest
 
-from repro.core import build_framework
+from repro.core import FrameworkBuilder
 from repro.oar import WorkloadConfig
-from repro.testbed import CLUSTER_SPECS
+from repro.scenarios import ScenarioSpec
 
 #: Two sites, five clusters (145 nodes): nancy has IB + Dell + disk-testable
 #: clusters, lyon brings a GPU cluster — enough to give every family cells.
@@ -13,22 +18,28 @@ SMALL_CLUSTERS = ("grisou", "grimoire", "graoully", "taurus", "nova")
 
 @pytest.fixture()
 def world():
-    specs = [s for s in CLUSTER_SPECS if s.name in SMALL_CLUSTERS]
-    fw = build_framework(
+    spec = ScenarioSpec(
+        name="checksuite-world",
         seed=11,
-        specs=specs,
-        workload_config=WorkloadConfig(target_utilization=0.3),
+        clusters=SMALL_CLUSTERS,
+        workload=WorkloadConfig(target_utilization=0.3),
     )
-    return fw
+    return FrameworkBuilder(spec).build()
 
 
-def run_family(fw, family, config):
+@pytest.fixture()
+def run_family():
     """Drive one family run to completion; returns the outcome."""
-    holder = {}
 
-    def driver():
-        holder["outcome"] = yield fw.sim.process(family.run(fw.checkctx, config))
+    def _run(fw, family, config):
+        holder = {}
 
-    fw.sim.process(driver())
-    fw.sim.run()
-    return holder["outcome"]
+        def driver():
+            holder["outcome"] = yield fw.sim.process(
+                family.run(fw.checkctx, config))
+
+        fw.sim.process(driver())
+        fw.sim.run()
+        return holder["outcome"]
+
+    return _run

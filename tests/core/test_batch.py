@@ -1,0 +1,112 @@
+"""Batch campaign runner: matrix shape, determinism, aggregation."""
+
+import math
+
+import pytest
+
+from repro import scenarios
+from repro.core import (
+    CampaignRun,
+    aggregate_runs,
+    run_campaigns,
+    run_scenario,
+    summarize_runs,
+)
+from repro.core.batch import SCALAR_METRICS
+from repro.oar import WorkloadConfig
+
+
+def report_doc(report):
+    """NaN-tolerant equality proxy (NaN != NaN under dataclass ==)."""
+    import dataclasses
+
+    from repro.util import canonical_json
+    return canonical_json(dataclasses.asdict(report))
+
+
+def fast_spec(name="batch-fast", **overrides):
+    defaults = dict(
+        name=name,
+        months=0.15,
+        clusters=("grisou", "nova", "taurus"),
+        families=("refapi", "oarstate", "console"),
+        backlog_faults=4,
+        workload=WorkloadConfig(target_utilization=0.25),
+    )
+    defaults.update(overrides)
+    return scenarios.ScenarioSpec(**defaults)
+
+
+def test_matrix_shape_and_order():
+    runs = run_campaigns([fast_spec("m-a"), fast_spec("m-b")],
+                         seeds=[3, 5], workers=1)
+    assert [(r.scenario, r.seed) for r in runs] == [
+        ("m-a", 3), ("m-a", 5), ("m-b", 3), ("m-b", 5)]
+    assert all(isinstance(r, CampaignRun) for r in runs)
+    assert all(r.report.scenario == r.scenario and r.report.seed == r.seed
+               for r in runs)
+
+
+def test_accepts_preset_names():
+    runs = run_campaigns(["tiny-smoke"], seeds=[1], workers=1, months=0.15)
+    assert len(runs) == 1
+    assert runs[0].scenario == "tiny-smoke"
+    assert runs[0].report.months == 0.15
+
+
+def test_same_seed_same_report():
+    a = run_campaigns([fast_spec()], seeds=[7], workers=1)
+    b = run_campaigns([fast_spec()], seeds=[7], workers=1)
+    assert report_doc(a[0].report) == report_doc(b[0].report)
+
+
+def test_workers_do_not_change_results():
+    spec = fast_spec()
+    serial = run_campaigns([spec], seeds=[0, 1], workers=1)
+    parallel = run_campaigns([spec], seeds=[0, 1], workers=2)
+    assert [report_doc(r.report) for r in serial] == \
+        [report_doc(r.report) for r in parallel]
+
+
+def test_batch_matches_run_scenario():
+    spec = fast_spec()
+    (run,) = run_campaigns([spec], seeds=[11], workers=1)
+    _, direct = run_scenario(spec, seed=11)
+    assert report_doc(run.report) == report_doc(direct)
+
+
+def test_empty_matrix():
+    assert run_campaigns([], seeds=[0]) == []
+    assert run_campaigns([fast_spec()], seeds=[]) == []
+
+
+def test_aggregate_mean_and_ci():
+    runs = run_campaigns([fast_spec()], seeds=[0, 1, 2], workers=1)
+    agg = aggregate_runs(runs)
+    metrics = agg["batch-fast"]
+    assert set(metrics) == set(SCALAR_METRICS)
+    builds = metrics["total_builds"]
+    values = [r.report.total_builds for r in runs]
+    assert builds.n == 3
+    assert builds.mean == pytest.approx(sum(values) / 3)
+    assert builds.ci95 >= 0.0
+    # mean must sit inside the observed range
+    assert min(values) <= builds.mean <= max(values)
+
+
+def test_aggregate_drops_nan_samples():
+    # framework off -> nothing detected -> detection latency is NaN
+    off = fast_spec("batch-off", framework_enabled=False)
+    runs = run_campaigns([off], seeds=[0, 1], workers=1)
+    lat = aggregate_runs(runs)["batch-off"]["detection_latency_days_median"]
+    assert lat.n == 0 and math.isnan(lat.mean)
+    bugs = aggregate_runs(runs)["batch-off"]["bugs_filed"]
+    assert bugs.n == 2 and bugs.mean == 0.0
+
+
+def test_summarize_runs_renders():
+    runs = run_campaigns([fast_spec()], seeds=[0, 1], workers=1)
+    text = summarize_runs(runs)
+    assert "batch-fast" in text
+    assert "bugs_filed" in text
+    assert "n=2" in text

@@ -79,3 +79,30 @@ def test_pernode_campaign_runs():
     _, report = run_campaign(small_config(months=0.25, pernode=True))
     assert isinstance(report, CampaignReport)
     assert report.total_builds > 0
+
+
+# -- declarative path <-> legacy shim -----------------------------------------
+
+
+def test_shim_matches_scenario_path():
+    """run_campaign(CampaignConfig(...)) must reproduce run_scenario(spec)
+    byte-for-byte at the same seed."""
+    import dataclasses
+
+    from repro import run_scenario, scenarios
+    from repro.util import canonical_json
+
+    spec = scenarios.get("paper-baseline").derive(
+        name="shim-check", seed=17, months=0.25,
+        clusters=SMALL, backlog_faults=8,
+        fault_mean_interarrival_s=86_400.0,
+        workload=WorkloadConfig(target_utilization=0.3))
+    _, via_spec = run_scenario(spec)
+    _, via_shim = run_campaign(small_config(months=0.25))
+
+    def doc(report):
+        d = dataclasses.asdict(report)
+        d.pop("scenario"), d.pop("seed")  # provenance labels differ
+        return canonical_json(d)
+
+    assert doc(via_spec) == doc(via_shim)

@@ -1,0 +1,83 @@
+"""Preset registry: lookup, completeness, and baseline fidelity."""
+
+import pytest
+
+from repro import scenarios
+from repro.core import CampaignConfig
+from repro.scenarios import ScenarioSpec
+
+EXPECTED_PRESETS = {
+    "paper-baseline",
+    "a2-no-framework",
+    "pernode",
+    "flaky-services",
+    "understaffed-ops",
+    "double-scale",
+    "tiny-smoke",
+    "high-churn",
+}
+
+
+def test_library_ships_expected_presets():
+    assert EXPECTED_PRESETS <= set(scenarios.names())
+    assert len(scenarios.names()) >= 8
+
+
+def test_get_returns_spec():
+    spec = scenarios.get("paper-baseline")
+    assert isinstance(spec, ScenarioSpec)
+    assert spec.name == "paper-baseline"
+
+
+def test_get_unknown_name_lists_known():
+    with pytest.raises(KeyError, match="paper-baseline"):
+        scenarios.get("no-such-scenario")
+
+
+def test_register_rejects_duplicates():
+    spec = scenarios.get("tiny-smoke")
+    with pytest.raises(ValueError, match="already registered"):
+        scenarios.register(spec)
+
+
+def test_paper_baseline_matches_legacy_campaign_defaults():
+    """The preset must describe exactly run_campaign(CampaignConfig())."""
+    spec = scenarios.get("paper-baseline")
+    legacy = CampaignConfig()
+    assert spec.seed == legacy.seed
+    assert spec.months == legacy.months
+    assert spec.clusters is None and spec.scale == 1.0
+    assert spec.backlog_faults == legacy.backlog_faults
+    assert spec.fault_mean_interarrival_s == legacy.fault_mean_interarrival_s
+    assert spec.policy == legacy.policy
+    assert spec.workload == legacy.workload
+    assert spec.operator_speedup == legacy.operator_speedup
+    assert spec.framework_enabled == legacy.framework_enabled
+    assert spec.pernode == legacy.pernode
+    assert spec.executors == legacy.executors
+
+
+def test_ablation_presets_differ_only_where_advertised():
+    base = scenarios.get("paper-baseline")
+    assert scenarios.get("a2-no-framework") == base.derive(
+        name="a2-no-framework",
+        description=scenarios.get("a2-no-framework").description,
+        framework_enabled=False)
+    assert scenarios.get("pernode").pernode is True
+    assert scenarios.get("double-scale").scale == 2.0
+    assert scenarios.get("understaffed-ops").operator_speedup < 1.0
+    assert (scenarios.get("flaky-services").fault_mean_interarrival_s
+            < base.fault_mean_interarrival_s)
+
+
+def test_tiny_smoke_resolves_small_world():
+    spec = scenarios.get("tiny-smoke")
+    specs = spec.resolve_cluster_specs()
+    assert {s.name for s in specs} == set(spec.clusters)
+    assert sum(s.nodes for s in specs) < 200
+
+
+def test_double_scale_doubles_node_counts():
+    base = scenarios.get("paper-baseline").resolve_cluster_specs()
+    doubled = scenarios.get("double-scale").resolve_cluster_specs()
+    assert sum(s.nodes for s in doubled) == 2 * sum(s.nodes for s in base)

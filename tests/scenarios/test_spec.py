@@ -1,0 +1,85 @@
+"""ScenarioSpec: validation, derivation, JSON round-trip fidelity."""
+
+import json
+
+import pytest
+
+from repro import scenarios
+from repro.oar import WorkloadConfig
+from repro.scenarios import ScenarioSpec
+from repro.scheduling import SchedulerPolicy
+from repro.util import content_hash
+
+
+def test_defaults_are_the_paper_campaign():
+    spec = ScenarioSpec()
+    assert spec.months == 5.0
+    assert spec.backlog_faults == 50
+    assert spec.clusters is None and spec.families is None
+
+
+def test_unknown_cluster_rejected():
+    with pytest.raises(ValueError, match="unknown cluster"):
+        ScenarioSpec(clusters=("grisou", "atlantis"))
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(KeyError, match="unknown test family"):
+        ScenarioSpec(families=("refapi", "nosuchfamily"))
+
+
+def test_nonpositive_scale_rejected():
+    with pytest.raises(ValueError, match="scale"):
+        ScenarioSpec(scale=0.0)
+
+
+def test_derive_overrides_and_keeps_rest():
+    base = scenarios.get("tiny-smoke")
+    derived = base.derive(seed=99, months=1.0)
+    assert derived.seed == 99 and derived.months == 1.0
+    assert derived.clusters == base.clusters
+    assert derived.workload == base.workload
+    assert base.seed != 99  # presets stay immutable
+
+
+@pytest.mark.parametrize("name", [
+    "paper-baseline", "a2-no-framework", "pernode", "flaky-services",
+    "understaffed-ops", "double-scale", "tiny-smoke", "high-churn",
+])
+def test_every_preset_json_round_trips(name):
+    spec = scenarios.get(name)
+    again = ScenarioSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def test_round_trip_preserves_types():
+    spec = ScenarioSpec(clusters=("grisou", "nova"), families=("refapi",),
+                        workload=WorkloadConfig(target_utilization=0.4),
+                        policy=SchedulerPolicy(backoff_factor=3.0))
+    again = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert isinstance(again.clusters, tuple)
+    assert isinstance(again.families, tuple)
+    assert isinstance(again.policy, SchedulerPolicy)
+    assert isinstance(again.workload, WorkloadConfig)
+    assert again == spec
+
+
+def test_to_json_is_canonical_and_hashable():
+    spec = scenarios.get("paper-baseline")
+    assert content_hash(spec.to_dict()) == \
+        content_hash(ScenarioSpec.from_json(spec.to_json()).to_dict())
+
+
+def test_from_dict_rejects_unknown_keys():
+    doc = scenarios.get("tiny-smoke").to_dict()
+    doc["warp_speed"] = True
+    with pytest.raises(ValueError, match="warp_speed"):
+        ScenarioSpec.from_dict(doc)
+
+
+def test_resolve_families_defaults_to_all_sixteen():
+    assert len(ScenarioSpec().resolve_families()) == 16
+    assert [f.name for f in
+            ScenarioSpec(families=("disk", "refapi")).resolve_families()] == \
+        ["disk", "refapi"]

@@ -80,3 +80,80 @@ def test_deep_get_path_from_diff_round_trip():
     (entry,) = deep_diff(old, new)
     assert deep_get(old, entry.path) == "GA07"
     assert deep_get(new, entry.path) == "GA09"
+
+
+# -- dataclass codec -----------------------------------------------------------
+
+
+def test_encode_decode_nested_dataclass():
+    from dataclasses import dataclass, field
+    from typing import Optional
+
+    from repro.util import decode_dataclass, encode_dataclass
+
+    @dataclass(frozen=True)
+    class Inner:
+        rate: float = 1.0
+        on: bool = True
+
+    @dataclass(frozen=True)
+    class Outer:
+        name: str = "x"
+        tags: Optional[tuple[str, ...]] = None
+        inner: Inner = field(default_factory=Inner)
+
+    outer = Outer(name="y", tags=("a", "b"), inner=Inner(rate=2.5, on=False))
+    doc = encode_dataclass(outer)
+    assert doc == {"name": "y", "tags": ["a", "b"],
+                   "inner": {"rate": 2.5, "on": False}}
+    again = decode_dataclass(Outer, doc)
+    assert again == outer
+    assert isinstance(again.tags, tuple)
+    assert isinstance(again.inner, Inner)
+
+
+def test_decode_promotes_int_to_float():
+    from dataclasses import dataclass
+
+    from repro.util import decode_dataclass
+
+    @dataclass(frozen=True)
+    class Cfg:
+        ratio: float = 0.5
+
+    cfg = decode_dataclass(Cfg, {"ratio": 2})
+    assert cfg.ratio == 2.0 and isinstance(cfg.ratio, float)
+
+
+def test_decode_rejects_unknown_and_mistyped():
+    from dataclasses import dataclass
+
+    import pytest
+
+    from repro.util import decode_dataclass
+
+    @dataclass(frozen=True)
+    class Cfg:
+        count: int = 1
+
+    with pytest.raises(ValueError, match="bogus"):
+        decode_dataclass(Cfg, {"bogus": 3})
+    with pytest.raises(ValueError, match="expected int"):
+        decode_dataclass(Cfg, {"count": "three"})
+    with pytest.raises(ValueError, match="expected int"):
+        decode_dataclass(Cfg, {"count": True})  # bool is not an int here
+
+
+def test_dict_keys_round_trip_by_annotation():
+    from dataclasses import dataclass, field
+
+    from repro.util import decode_dataclass, encode_dataclass
+
+    @dataclass(frozen=True)
+    class Weights:
+        by_rank: dict[int, float] = field(default_factory=dict)
+
+    w = Weights(by_rank={1: 2.0, 7: 0.5})
+    doc = encode_dataclass(w)
+    assert doc == {"by_rank": {"1": 2.0, "7": 0.5}}  # JSON keys are strings
+    assert decode_dataclass(Weights, doc) == w
