@@ -1,0 +1,100 @@
+"""B2 — resumable campaign store: a warm resume pays only the missing cells.
+
+Simulates an interrupted sweep: half the seed x scenario matrix is archived
+into a :class:`CampaignStore`, then the full matrix is re-run with
+``resume=True``.  The resume must execute only the missing half (counted
+via the ``on_cell`` progress callback) and finish in well under the cold
+wall-clock.  Cold-vs-warm timings land in ``benchmarks/results/``.
+"""
+
+import json
+import os
+import time
+
+from repro import run_campaigns, scenarios
+from repro.core.store import CampaignStore
+
+from conftest import paper_row, print_table
+
+_SEEDS = (0, 1, 2, 3)
+_RESULTS = os.path.join(os.path.dirname(__file__), "results",
+                        "BENCH_b2_resume.json")
+
+
+def _matrix():
+    smoke = scenarios.get("tiny-smoke").derive(months=0.15)
+    stormy = scenarios.get("flaky-services").derive(
+        name="flaky-small", clusters=smoke.clusters, months=0.15,
+        backlog_faults=10, workload=smoke.workload)
+    return [smoke, stormy]
+
+
+def bench_b2_resume(benchmark, tmp_path):
+    matrix = _matrix()
+    store_path = os.path.join(tmp_path, "store.jsonl")
+
+    # Cold half-run: archive cells for the first half of the seeds only —
+    # the state an interrupted sweep leaves behind.
+    t0 = time.perf_counter()
+    half = run_campaigns(matrix, seeds=_SEEDS[:2], workers=1,
+                         store=store_path)
+    t_half = time.perf_counter() - t0
+    assert all(r.ok for r in half)
+
+    # Warm resume over the FULL matrix: only the missing half may execute.
+    executed, cached = [], []
+
+    def progress(run, from_store):
+        (cached if from_store else executed).append((run.scenario, run.seed))
+
+    t0 = time.perf_counter()
+    full = benchmark.pedantic(
+        lambda: run_campaigns(matrix, seeds=_SEEDS, workers=1,
+                              store=store_path, resume=True,
+                              on_cell=progress),
+        rounds=1, iterations=1)
+    t_resume = time.perf_counter() - t0
+
+    # Cold full run for the reference wall-clock.
+    t0 = time.perf_counter()
+    cold = run_campaigns(matrix, seeds=_SEEDS, workers=1)
+    t_cold = time.perf_counter() - t0
+
+    rows = [
+        paper_row("matrix cells (2 scenarios x 4 seeds)", 8, len(full)),
+        paper_row("cells executed on resume", 4, len(executed)),
+        paper_row("cells served from store", 4, len(cached)),
+        paper_row("cold full matrix (s)", "-", f"{t_cold:.1f}"),
+        paper_row("warm resume (s)", "-", f"{t_resume:.1f}"),
+        paper_row("interrupted half-run (s)", "-", f"{t_half:.1f}"),
+    ]
+    print_table("B2: resumable campaign store (cold vs warm)", rows)
+
+    os.makedirs(os.path.dirname(_RESULTS), exist_ok=True)
+    with open(_RESULTS, "w", encoding="utf-8") as fh:
+        json.dump({
+            "id": "b2_resume",
+            "metrics": {
+                "cells_total": len(full),
+                "cells_executed_on_resume": len(executed),
+                "cells_cached_on_resume": len(cached),
+                "cold_full_s": round(t_cold, 3),
+                "warm_resume_s": round(t_resume, 3),
+                "interrupted_half_s": round(t_half, 3),
+            },
+            "outcome": "passed",
+        }, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    assert len(full) == 8 and all(r.ok for r in full)
+    # Resume executed exactly the missing cells, nothing else.
+    assert sorted(executed) == sorted(
+        (spec.name, seed) for spec in matrix for seed in _SEEDS[2:])
+    assert len(cached) == 4
+    # The archived half matches a cold run bit-for-bit.
+    by_cell = {(r.scenario, r.seed): r for r in full}
+    for r in cold:
+        assert by_cell[(r.scenario, r.seed)].report.to_dict() == r.report.to_dict()
+    # Warm resume costs ~the missing half, not the full matrix.
+    assert t_resume < t_cold
+    assert len(CampaignStore(store_path)) == 8

@@ -6,14 +6,22 @@ A single campaign is one draw from a stochastic world; the paper's claims
 intervals.  ``run_campaigns`` fans a seed x scenario matrix across worker
 processes and ``summarize_runs`` reports mean ± 95 % CI per metric.
 
+Every finished cell is archived to a ``CampaignStore`` (JSONL, written
+next to the current directory) as it streams in, so re-running this
+script resumes instead of recomputing — delete the store file to start
+cold.
+
 Run:  python examples/batch_sweep.py [n_seeds] [workers]
       (defaults: 4 seeds, one worker per matrix cell up to cpu_count)
 """
 
 import sys
 import time
+from pathlib import Path
 
 from repro import run_campaigns, scenarios, summarize_runs
+
+STORE = Path("batch_sweep_store.jsonl")
 
 
 def main() -> None:
@@ -28,18 +36,31 @@ def main() -> None:
         months=smoke.months, workload=smoke.workload)
 
     matrix = [smoke, stormy]
-    print(f"sweeping {len(matrix)} scenarios x {n_seeds} seeds...")
+    total = len(matrix) * n_seeds
+    print(f"sweeping {len(matrix)} scenarios x {n_seeds} seeds "
+          f"(store: {STORE})...")
+
+    done = [0]
+
+    def progress(run, cached):
+        done[0] += 1
+        status = "cached" if cached else ("ok" if run.ok else "FAILED")
+        print(f"  [{done[0]}/{total}] {run.scenario} @ seed {run.seed}: {status}")
+
     t0 = time.perf_counter()
-    runs = run_campaigns(matrix, seeds=range(n_seeds), workers=workers)
+    runs = run_campaigns(matrix, seeds=range(n_seeds), workers=workers,
+                         store=STORE, resume=True, on_cell=progress)
     elapsed = time.perf_counter() - t0
-    print(f"{len(runs)} campaigns in {elapsed:.1f}s wall-clock\n")
+    print(f"{len(runs)} campaigns in {elapsed:.1f}s wall-clock "
+          f"(re-run to resume from the store)\n")
 
     print("aggregate (mean ± 95% CI across seeds):")
     print(summarize_runs(runs))
 
-    smoke_bugs = [r.report.bugs_filed for r in runs if r.scenario == smoke.name]
+    smoke_bugs = [r.report.bugs_filed for r in runs
+                  if r.ok and r.scenario == smoke.name]
     storm_bugs = [r.report.bugs_filed for r in runs
-                  if r.scenario == stormy.name]
+                  if r.ok and r.scenario == stormy.name]
     print(f"\nper-seed bugs filed: {smoke.name}={smoke_bugs} "
           f"{stormy.name}={storm_bugs}")
 

@@ -47,6 +47,7 @@ from .core import (
     CampaignConfig,
     CampaignReport,
     CampaignRun,
+    CampaignStore,
     FrameworkBuilder,
     MetricSummary,
     SubsystemRegistry,
@@ -74,6 +75,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignReport",
     "CampaignRun",
+    "CampaignStore",
     "MetricSummary",
     "run_campaign",
     "run_scenario",

@@ -1,6 +1,22 @@
-"""Result analysis: build history, status page, reliability trends."""
+"""Result analysis: build history, status page, reliability trends,
+scenario-vs-baseline comparison."""
 
+from .compare import (
+    MetricDelta,
+    compare_aggregates,
+    compare_runs,
+    format_comparison,
+)
 from .history import BuildHistory, BuildRecord
 from .statuspage import CellStatus, StatusPage
 
-__all__ = ["BuildHistory", "BuildRecord", "StatusPage", "CellStatus"]
+__all__ = [
+    "BuildHistory",
+    "BuildRecord",
+    "StatusPage",
+    "CellStatus",
+    "MetricDelta",
+    "compare_aggregates",
+    "compare_runs",
+    "format_comparison",
+]

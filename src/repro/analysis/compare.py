@@ -1,0 +1,129 @@
+"""Scenario-vs-baseline comparison of aggregated campaign metrics.
+
+A sweep is usually a *question*: does doubling the testbed change the bug
+count?  Does disabling the framework tank reliability?  This module turns
+two aggregated scenarios into per-metric deltas, flagging which differences
+are resolvable at 95 % confidence (the intervals do not overlap) and which
+drown in seed noise.
+
+Overlapping-CI is a conservative screen, not a t-test: non-overlap at 95 %
+implies a significant difference, while overlap merely means "not resolved
+at this seed count" — the honest phrasing for small sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # real imports are deferred: analysis loads during the
+    # repro.core package's own import (builder pulls in BuildHistory), so a
+    # module-level import of core.batch here would be a circular import.
+    from ..core.batch import CampaignRun, MetricSummary
+
+__all__ = ["MetricDelta", "compare_aggregates", "compare_runs",
+           "format_comparison"]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric of one scenario measured against the baseline."""
+
+    metric: str
+    baseline: "MetricSummary"
+    other: "MetricSummary"
+    #: ``other.mean - baseline.mean`` (NaN when either side has no sample).
+    delta: float
+    #: Relative change vs the baseline mean (NaN when undefined).
+    pct: float
+    #: True when the two 95 % intervals overlap (difference not resolved).
+    ci_overlap: bool
+
+    @property
+    def significant(self) -> bool:
+        """Resolved at 95 %: intervals disjoint, with real intervals on
+        both sides.  A single-seed side has ci95 = 0 — a point, not an
+        interval — so nothing can be resolved from it, only suggested."""
+        return (not self.ci_overlap
+                and not math.isnan(self.delta)
+                and (self.baseline.n > 1 and self.other.n > 1))
+
+
+def _delta(metric: str, base: "MetricSummary", other: "MetricSummary") -> MetricDelta:
+    if base.n == 0 or other.n == 0:
+        return MetricDelta(metric, base, other, float("nan"), float("nan"),
+                           ci_overlap=True)
+    delta = other.mean - base.mean
+    pct = delta / abs(base.mean) if base.mean != 0 else float("nan")
+    overlap = (base.mean - base.ci95 <= other.mean + other.ci95
+               and other.mean - other.ci95 <= base.mean + base.ci95)
+    return MetricDelta(metric, base, other, delta, pct, ci_overlap=overlap)
+
+
+def compare_aggregates(
+    aggregated: dict[str, dict[str, "MetricSummary"]],
+    baseline: str,
+    metrics: Optional[Sequence[str]] = None,
+) -> dict[str, list[MetricDelta]]:
+    """Delta of every non-baseline scenario against ``baseline``.
+
+    ``aggregated`` is :func:`~repro.core.batch.aggregate_runs` output;
+    ``metrics`` defaults to every scalar metric.  Returns
+    ``{scenario: [MetricDelta, ...]}`` for every other scenario.
+    """
+    if metrics is None:
+        from ..core.batch import SCALAR_METRICS
+        metrics = SCALAR_METRICS
+    if baseline not in aggregated:
+        raise KeyError(
+            f"baseline scenario {baseline!r} not in results "
+            f"(have: {', '.join(sorted(aggregated)) or 'none'})")
+    base = aggregated[baseline]
+    out: dict[str, list[MetricDelta]] = {}
+    for scenario, summaries in aggregated.items():
+        if scenario == baseline:
+            continue
+        out[scenario] = [_delta(m, base[m], summaries[m]) for m in metrics]
+    return out
+
+
+def compare_runs(
+    runs: Sequence["CampaignRun"],
+    baseline: str,
+    metrics: Optional[Sequence[str]] = None,
+) -> dict[str, list[MetricDelta]]:
+    """:func:`compare_aggregates` straight from raw campaign runs."""
+    from ..core.batch import aggregate_runs
+    return compare_aggregates(aggregate_runs(runs), baseline, metrics)
+
+
+def format_comparison(deltas: dict[str, list[MetricDelta]],
+                      baseline: str,
+                      only_significant: bool = False) -> str:
+    """Render comparison blocks, one per scenario.
+
+    Lines are marked ``*`` when the difference is resolved at 95 % and
+    ``~`` when the intervals overlap.  ``only_significant`` drops the
+    unresolved lines.
+    """
+    lines = [f"baseline: {baseline}"]
+    for scenario in sorted(deltas):
+        lines.append(f"{scenario}  (Δ vs {baseline})")
+        shown = 0
+        for d in deltas[scenario]:
+            if only_significant and not d.significant:
+                continue
+            shown += 1
+            if math.isnan(d.delta):
+                lines.append(f"  ~ {d.metric:<32} no sample")
+                continue
+            mark = "*" if d.significant else "~"
+            pct = f" ({d.pct:+.0%})" if not math.isnan(d.pct) else ""
+            lines.append(
+                f"  {mark} {d.metric:<32} {d.other.mean:.2f} ± "
+                f"{d.other.ci95:.2f} vs {d.baseline.mean:.2f} ± "
+                f"{d.baseline.ci95:.2f}  Δ={d.delta:+.2f}{pct}")
+        if shown == 0:
+            lines.append("  (no metric resolved at 95 %)")
+    return "\n".join(lines)

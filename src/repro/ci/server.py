@@ -114,7 +114,7 @@ class JenkinsServer:
             build.log_line(self.sim.now, "aborted")
             self._finish(build, BuildStatus.ABORTED)
         finally:
-            self.executors.release()
+            self.executors.release(request)
             self._build_procs.pop(build, None)
 
     def _finish(self, build: Build, status: BuildStatus) -> None:

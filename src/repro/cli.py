@@ -1,26 +1,39 @@
-"""``repro-campaign``: run named scenario presets from the shell.
+"""``repro-campaign``: run, archive, and compare scenario campaigns.
 
 Examples::
 
     repro-campaign --list
-    repro-campaign tiny-smoke
-    repro-campaign paper-baseline --months 1
-    repro-campaign tiny-smoke flaky-services --seeds 0,1,2,3 --workers 4
-    repro-campaign tiny-smoke --json > report.json
+    repro-campaign run tiny-smoke --seeds 0,1,2,3 --workers 4
+    repro-campaign run paper-baseline --months 1 --store results.jsonl
+    repro-campaign run paper-baseline --store results.jsonl --resume
+    repro-campaign report results.jsonl
+    repro-campaign compare results.jsonl --baseline paper-baseline
+    repro-campaign tiny-smoke --json > report.json   # legacy implicit "run"
+
+``run --store`` appends every finished cell to a JSONL
+:class:`~repro.core.store.CampaignStore`; ``--resume`` then skips cells the
+store already holds, so an interrupted sweep re-pays only what is missing.
+``report`` and ``compare`` work entirely from the store — no preset code
+needed to audit archived results.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
+import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from . import scenarios
-from .core.batch import run_campaigns, summarize_runs
+from .analysis.compare import compare_runs, format_comparison
+from .core.batch import CampaignRun, run_campaigns, summarize_runs
+from .core.store import CampaignStore
 
 __all__ = ["main"]
+
+_SUBCOMMANDS = ("run", "report", "compare")
 
 
 def _parse_seeds(text: str) -> list[int]:
@@ -39,47 +52,207 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-campaign",
         description="Run closed-loop testbed campaigns from named scenario "
-                    "presets (see --list).",
+                    "presets; archive, resume, and compare the results.",
     )
-    parser.add_argument("scenario", nargs="*", default=["tiny-smoke"],
-                        help="preset name(s); default: tiny-smoke")
-    parser.add_argument("--seeds", type=_parse_seeds, default=[0],
-                        metavar="a,b,c",
-                        help="comma-separated seed list (default: 0)")
-    parser.add_argument("--workers", type=int, default=None,
-                        help="worker processes (default: min(jobs, cpus))")
-    parser.add_argument("--months", type=float, default=None,
-                        help="override every scenario's horizon")
-    parser.add_argument("--json", action="store_true",
-                        help="emit the full reports as JSON on stdout")
     parser.add_argument("--list", action="store_true", dest="list_presets",
                         help="list available presets and exit")
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser("run", help="run a seed x scenario matrix")
+    run_p.add_argument("scenario", nargs="*", default=["tiny-smoke"],
+                       help="preset name(s); default: tiny-smoke")
+    run_p.add_argument("--seeds", type=_parse_seeds, default=[0],
+                       metavar="a,b,c",
+                       help="comma-separated seed list (default: 0)")
+    run_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: min(jobs, cpus))")
+    run_p.add_argument("--months", type=float, default=None,
+                       help="override every scenario's horizon")
+    run_p.add_argument("--store", default=None, metavar="PATH",
+                       help="archive each finished cell to this JSONL store")
+    run_p.add_argument("--resume", action="store_true",
+                       help="skip cells the store already holds "
+                            "(requires --store)")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the full reports as JSON on stdout")
+    run_p.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress lines")
+
+    report_p = sub.add_parser("report",
+                              help="summarize an archived store")
+    report_p.add_argument("store", help="path to a campaign store (JSONL)")
+    report_p.add_argument("--json", action="store_true",
+                          help="emit the stored reports as JSON on stdout")
+
+    cmp_p = sub.add_parser("compare",
+                           help="per-metric deltas of every scenario in a "
+                                "store against a baseline scenario")
+    cmp_p.add_argument("store", help="path to a campaign store (JSONL)")
+    cmp_p.add_argument("--baseline", required=True,
+                       help="scenario name to measure the others against")
+    cmp_p.add_argument("--significant", action="store_true",
+                       help="only show metrics resolved at 95%% confidence")
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.list_presets:
-        for spec in scenarios.all_presets():
-            print(f"{spec.name:<18} {spec.description}")
-        return 0
+def _normalize_argv(argv: Sequence[str]) -> list[str]:
+    """Back-compat: ``repro-campaign tiny-smoke --seeds 0,1`` == ``run ...``
+    (including flags-only and bare invocations, which run the default
+    preset exactly as the pre-subcommand CLI did)."""
+    argv = list(argv)
+    if any(a in ("-h", "--help") for a in argv):
+        return argv
+    head = next((a for a in argv if not a.startswith("-")), None)
+    if head in _SUBCOMMANDS:
+        return argv
+    return ["run"] + argv
+
+
+def _runs_json(runs: Sequence[CampaignRun]) -> str:
+    docs = [{"scenario": r.scenario, "seed": r.seed,
+             "spec_hash": r.spec_hash, "error": r.error,
+             "report": r.report.to_dict() if r.report is not None else None}
+            for r in runs]
+    return json.dumps(docs, sort_keys=True, indent=2)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.resume and not args.store:
+        print("error: --resume requires --store", file=sys.stderr)
+        return 2
+    store = None
+    if args.store:
+        if os.path.exists(args.store):
+            store = _load_store(args.store)  # surface corrupt stores up front
+            if store is None:
+                return 2
+        else:
+            store = args.store  # fresh store: run_campaigns creates it
+    total = len(args.scenario) * len(args.seeds)
+    done = [0]
+    t0 = time.perf_counter()
+
+    def progress(run: CampaignRun, cached: bool) -> None:
+        done[0] += 1
+        if args.quiet or args.json:
+            return
+        status = ("cached" if cached else
+                  "ok" if run.ok else "FAILED")
+        print(f"[{done[0]}/{total}] {run.scenario} @ seed {run.seed}: "
+              f"{status} ({time.perf_counter() - t0:.1f}s)", file=sys.stderr)
+
     try:
         runs = run_campaigns(args.scenario, seeds=args.seeds,
-                             workers=args.workers, months=args.months)
+                             workers=args.workers, months=args.months,
+                             store=store, resume=args.resume,
+                             on_cell=progress)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps([dataclasses.asdict(r.report) for r in runs],
-                         sort_keys=True, indent=2))
-        return 0
+        print(_runs_json(runs))
+        return 0 if all(r.ok for r in runs) else 1
     for run in runs:
-        print(run.report.summary())
+        if run.ok:
+            print(run.report.summary())
+        else:
+            print(f"campaign {run.scenario} @ seed {run.seed} FAILED: "
+                  f"{run.error_summary}")
         print()
     if len(runs) > 1:
         print("aggregate (mean ± 95% CI across seeds):")
         print(summarize_runs(runs))
+    return 0 if all(r.ok for r in runs) else 1
+
+
+def _load_store(path: str) -> Optional[CampaignStore]:
+    if not os.path.exists(path):
+        print(f"error: cannot load store {path!r}: no such file",
+              file=sys.stderr)
+        return None
+    try:
+        return CampaignStore(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load store {path!r}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = _load_store(args.store)
+    if store is None:
+        return 2
+    runs = store.runs()
+    if not runs:
+        print("store is empty", file=sys.stderr)
+        return 1
+    if args.json:
+        # raw names: machine consumers join on (scenario, spec_hash),
+        # which must not shift when later appends add name variants
+        print(_runs_json(store.runs(disambiguate=False)))
+        return 0
+    ok = [r for r in runs if r.ok]
+    print(f"{args.store}: {len(runs)} cells "
+          f"({len(ok)} ok, {len(runs) - len(ok)} failed), "
+          f"{len(store.scenarios())} scenarios\n")
+    try:
+        print(summarize_runs(runs))
+    except ValueError as exc:
+        # store.runs() disambiguates name collisions, so this is a true
+        # data inconsistency — report it without a traceback
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    store = _load_store(args.store)
+    if store is None:
+        return 2
+    runs = [r for r in store.runs() if r.ok]
+    try:
+        deltas = compare_runs(runs, baseline=args.baseline)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if not deltas:
+        print(f"store only holds the baseline scenario {args.baseline!r}; "
+              f"nothing to compare", file=sys.stderr)
+        return 1
+    print(format_comparison(deltas, baseline=args.baseline,
+                            only_significant=args.significant))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # piping into `head`/`grep` closes stdout early; exit quietly
+        # (redirect to devnull so the interpreter's final flush is silent)
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+def _main(argv: Optional[Sequence[str]]) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--list" in argv:
+        # handled before parsing, like the pre-subcommand CLI did — so
+        # `repro-campaign tiny-smoke --list` still just lists and exits
+        for spec in scenarios.all_presets():
+            print(f"{spec.name:<18} {spec.description}")
+        return 0
+    args = _build_parser().parse_args(_normalize_argv(argv))
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    _build_parser().print_help()
+    return 2
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from .builder import (
 )
 from .campaign import CampaignConfig, CampaignReport, run_campaign, run_scenario
 from .framework import TestingFramework, build_framework
+from .store import CampaignStore, StoredCell, cell_hash, cell_key
 
 __all__ = [
     "Bug",
@@ -35,6 +36,10 @@ __all__ = [
     "CampaignConfig",
     "CampaignReport",
     "CampaignRun",
+    "CampaignStore",
+    "StoredCell",
+    "cell_hash",
+    "cell_key",
     "MetricSummary",
     "run_campaign",
     "run_scenario",

@@ -7,6 +7,15 @@ matrix across ``multiprocessing`` workers (each world is an independent
 simulation — embarrassingly parallel) and :func:`aggregate_runs` collapses
 the per-seed reports into mean ± 95 % CI per metric.
 
+The engine *streams*: results come back via ``imap_unordered`` as cells
+finish (reassembled into matrix order at the end), each completion fires an
+``on_cell`` progress callback, and a crashing cell is captured as a failed
+:class:`CampaignRun` instead of killing the pool.  With a
+:class:`~repro.core.store.CampaignStore` attached every finished cell is
+durably archived, and ``resume=True`` skips cells the store already holds —
+an interrupted sweep re-pays only its missing (or previously crashed)
+cells.
+
 Specs travel to workers as their JSON documents (``ScenarioSpec`` is fully
 serializable), so the fan-out works with any start method and the exact
 scenario a worker ran is what its report records.
@@ -17,12 +26,14 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import traceback
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..scenarios import get as get_preset
 from ..scenarios.spec import ScenarioSpec
 from .campaign import CampaignReport, run_scenario
+from .store import CampaignStore, cell_hash, format_cell_key
 
 __all__ = ["CampaignRun", "MetricSummary", "run_campaigns",
            "aggregate_runs", "summarize_runs"]
@@ -47,11 +58,30 @@ SCALAR_METRICS: tuple[str, ...] = (
 
 @dataclass(frozen=True)
 class CampaignRun:
-    """One (scenario, seed) cell of the batch matrix."""
+    """One (scenario, seed) cell of the batch matrix.
+
+    ``report`` is ``None`` when the cell crashed; ``error`` then carries
+    the worker's traceback.  ``spec_hash`` is the seed-independent content
+    hash of the effective scenario (see :func:`repro.core.store.cell_hash`)
+    — it is what lets :func:`aggregate_runs` detect two *different* specs
+    masquerading under one name.
+    """
 
     scenario: str
     seed: int
-    report: CampaignReport
+    report: Optional[CampaignReport]
+    spec_hash: str = ""
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.report is not None
+
+    @property
+    def error_summary(self) -> str:
+        """Last line of the captured traceback (the exception itself)."""
+        lines = (self.error or "").strip().splitlines()
+        return lines[-1] if lines else "unknown error"
 
 
 @dataclass(frozen=True)
@@ -86,12 +116,26 @@ def _t95(dof: int) -> float:
     return 1.96
 
 
-def _run_cell(payload: tuple[dict, int, Optional[float]]) -> CampaignReport:
-    """Worker entry point (top-level so it pickles under 'spawn' too)."""
-    spec_doc, seed, months = payload
-    spec = ScenarioSpec.from_dict(spec_doc)
-    _, report = run_scenario(spec, seed=seed, months=months)
-    return report
+def _run_cell(payload: tuple[int, dict, int, Optional[float]]
+              ) -> tuple[int, Optional[CampaignReport], Optional[str]]:
+    """Worker entry point (top-level so it pickles under 'spawn' too).
+
+    Returns ``(matrix_index, report, error)``.  A crashing cell comes back
+    as a traceback string instead of poisoning the pool — one sick
+    scenario must not cost the rest of the matrix.
+    """
+    index, spec_doc, seed, months = payload
+    try:
+        spec = ScenarioSpec.from_dict(spec_doc)
+        _, report = run_scenario(spec, seed=seed, months=months)
+        return index, report, None
+    except Exception:
+        return index, None, traceback.format_exc()
+
+
+#: Progress callback: ``on_cell(run, cached)`` fires once per finished
+#: cell, in completion order; ``cached`` is True for store hits.
+ProgressCallback = Callable[[CampaignRun, bool], None]
 
 
 def run_campaigns(
@@ -99,6 +143,9 @@ def run_campaigns(
     seeds: Iterable[int],
     workers: Optional[int] = None,
     months: Optional[float] = None,
+    store: Optional[Union[CampaignStore, str, "os.PathLike[str]"]] = None,
+    resume: bool = False,
+    on_cell: Optional[ProgressCallback] = None,
 ) -> list[CampaignRun]:
     """Run every scenario × seed combination; returns one run per cell.
 
@@ -108,6 +155,17 @@ def run_campaigns(
     process (useful for debugging and for determinism tests).  ``months``
     optionally overrides every spec's horizon.
 
+    ``store`` (a :class:`~repro.core.store.CampaignStore` or a path to
+    one) durably archives each cell as it finishes; with ``resume=True``
+    cells the store already holds *successfully* are returned from the
+    archive instead of re-executed (recorded failures are retried, so a
+    resume after a transient crash heals the matrix).  ``on_cell`` fires
+    once per finished cell in completion order.
+
+    A cell that raises does not abort the sweep: its :class:`CampaignRun`
+    carries the traceback in ``error`` and ``report=None``, and is
+    recorded as a failure when a store is attached.
+
     Results are deterministic per cell and come back in matrix order
     (scenario-major, seed-minor) regardless of worker count.
     """
@@ -116,16 +174,59 @@ def run_campaigns(
     matrix = [(spec, seed) for spec in resolved for seed in seed_list]
     if not matrix:
         return []
-    payloads = [(spec.to_dict(), seed, months) for spec, seed in matrix]
+    if store is not None and not isinstance(store, CampaignStore):
+        store = CampaignStore(store)
+
+    # Hash/serialize each spec once; every cell of its seed row reuses it.
+    hashes = {id(spec): cell_hash(spec, months) for spec in resolved}
+    docs = {id(spec): spec.to_dict() for spec in resolved}
+    runs: list[Optional[CampaignRun]] = [None] * len(matrix)
+    pending: list[tuple[int, dict, int, Optional[float]]] = []
+    for index, (spec, seed) in enumerate(matrix):
+        if store is not None and resume:
+            effective = months if months is not None else spec.months
+            key = format_cell_key(hashes[id(spec)], seed, effective)
+            cached = store.get(key)
+        else:
+            cached = None
+        if cached is not None and cached.ok:
+            runs[index] = CampaignRun(
+                scenario=spec.name, seed=seed, report=cached.report,
+                spec_hash=cached.spec_hash, error=None)
+            if on_cell is not None:
+                on_cell(runs[index], True)
+        else:
+            pending.append((index, docs[id(spec)], seed, months))
+
+    def finish(index: int, report: Optional[CampaignReport],
+               error: Optional[str]) -> None:
+        spec, seed = matrix[index]
+        runs[index] = CampaignRun(scenario=spec.name, seed=seed,
+                                  report=report, spec_hash=hashes[id(spec)],
+                                  error=error)
+        if store is not None:
+            if error is None:
+                store.record_success(spec, seed, report, months=months,
+                                     spec_hash=hashes[id(spec)])
+            else:
+                store.record_failure(spec, seed, error, months=months,
+                                     spec_hash=hashes[id(spec)])
+        if on_cell is not None:
+            on_cell(runs[index], False)
+
     if workers is None:
         workers = min(len(matrix), os.cpu_count() or 1)
-    if workers <= 1:
-        reports = [_run_cell(p) for p in payloads]
+    if workers <= 1 or len(pending) <= 1:
+        for payload in pending:
+            finish(*_run_cell(payload))
     else:
-        with multiprocessing.Pool(processes=min(workers, len(matrix))) as pool:
-            reports = pool.map(_run_cell, payloads)
-    return [CampaignRun(scenario=spec.name, seed=seed, report=report)
-            for (spec, seed), report in zip(matrix, reports)]
+        with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
+            # Streaming: archive/report each cell the moment it lands, in
+            # completion order; `runs` reassembles matrix order by index.
+            for result in pool.imap_unordered(_run_cell, pending):
+                finish(*result)
+    assert all(r is not None for r in runs)
+    return runs  # type: ignore[return-value]
 
 
 def aggregate_runs(
@@ -134,11 +235,25 @@ def aggregate_runs(
     """Per-scenario mean ± 95 % CI for every scalar metric.
 
     NaN metric values (e.g. the median detection latency of a campaign
-    that detected nothing) are dropped from that metric's sample.
+    that detected nothing) are dropped from that metric's sample, as are
+    failed runs (``report=None``).
+
+    Two *different* specs sharing one scenario name would silently merge
+    into a single bogus confidence interval; runs carry the spec content
+    hash, so that conflict is detected and raises ``ValueError`` instead.
     """
     by_scenario: dict[str, list[CampaignRun]] = {}
     for run in runs:
+        if not run.ok:
+            continue
         by_scenario.setdefault(run.scenario, []).append(run)
+    for scenario, cell_runs in by_scenario.items():
+        hashes = {r.spec_hash for r in cell_runs if r.spec_hash}
+        if len(hashes) > 1:
+            raise ValueError(
+                f"scenario name {scenario!r} covers {len(hashes)} different "
+                f"specs ({', '.join(sorted(hashes))}); aggregating them into "
+                f"one CI would be meaningless — rename one of the specs")
     out: dict[str, dict[str, MetricSummary]] = {}
     for scenario, cell_runs in by_scenario.items():
         metrics: dict[str, MetricSummary] = {}
@@ -164,12 +279,20 @@ def summarize_runs(runs: Sequence[CampaignRun],
                                              "faults_detected",
                                              "last_month_success",
                                              "total_builds")) -> str:
-    """Human-readable aggregate table (one block per scenario)."""
+    """Human-readable aggregate table (one block per scenario).
+
+    Failed cells are excluded from the statistics and listed at the end.
+    """
     aggregated = aggregate_runs(runs)
     lines = []
     for scenario in sorted(aggregated):
-        seeds = sorted(r.seed for r in runs if r.scenario == scenario)
+        seeds = sorted(r.seed for r in runs if r.scenario == scenario and r.ok)
         lines.append(f"{scenario}  (seeds: {', '.join(map(str, seeds))})")
         for name in metrics:
             lines.append(f"  {name:<32} {aggregated[scenario][name]}")
+    failed = [r for r in runs if not r.ok]
+    if failed:
+        lines.append(f"failed cells ({len(failed)}):")
+        for r in failed:
+            lines.append(f"  {r.scenario} @ seed {r.seed}: {r.error_summary}")
     return "\n".join(lines)

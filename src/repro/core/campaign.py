@@ -30,6 +30,7 @@ from ..oar.workload import WorkloadConfig
 from ..scenarios.spec import ScenarioSpec
 from ..scheduling.policies import SchedulerPolicy
 from ..testbed.generator import ClusterSpec
+from ..util.serialization import decode_dataclass, encode_dataclass
 from ..util.simclock import DAY, MONTH, WEEK
 from .builder import FrameworkBuilder
 from .framework import TestingFramework
@@ -123,6 +124,15 @@ class CampaignReport:
             f"{self.unstable_builds} unstable (no resources)",
         ]
         return "\n".join(lines)
+
+    # -- JSON codec (the campaign store archives reports as documents) --------
+
+    def to_dict(self) -> dict:
+        return encode_dataclass(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignReport":
+        return decode_dataclass(cls, data)
 
 
 def run_scenario(

@@ -1,0 +1,260 @@
+"""Persistent campaign result store: one JSONL record per matrix cell.
+
+A seed × scenario sweep is only trustworthy if it can be *interrupted*: a
+laptop sleeps, a worker segfaults, a cluster job hits its walltime.  The
+:class:`CampaignStore` archives every finished cell of
+:func:`~repro.core.batch.run_campaigns` as one appended JSON line, so a
+re-run with ``resume=True`` pays only for the cells that are missing (or
+previously crashed) — the same cell-level checkpointing idea malleable-job
+schedulers use to survive shrinking allocations.
+
+Cells are keyed by ``(spec content hash, seed, months)``:
+
+* the **spec hash** covers every declarative knob of the *effective*
+  scenario (after any ``months=`` override) except the seed — changing
+  any knob, including the name, moves the cell to a fresh slot, so two
+  different worlds can never collide on one archived result;
+* **seed** and the effective **months** horizon complete the key.
+
+Records carry the full spec document next to the report, so ``repro-campaign
+report``/``compare`` can audit exactly what ran without the original preset
+code.  Appends are flushed + fsynced; a torn line from a killed process is
+sealed by the next append and loses only itself on load.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Union
+
+from ..scenarios.spec import ScenarioSpec
+from ..util.serialization import append_jsonl, content_hash, iter_jsonl
+from .campaign import CampaignReport
+
+__all__ = ["CampaignStore", "StoredCell", "StoreFormatError", "cell_hash",
+           "cell_key", "format_cell_key"]
+
+#: Record-format version, bumped on incompatible layout changes.
+_FORMAT = 1
+
+
+class StoreFormatError(ValueError):
+    """A record written by an incompatible (newer) store format.
+
+    Distinct from generic record damage: damaged records lose only
+    themselves on load, a format mismatch must abort loudly rather than
+    silently dropping a whole archive's worth of cells.
+    """
+
+
+def cell_hash(spec: ScenarioSpec, months: Optional[float] = None) -> str:
+    """Seed-independent content hash of the effective scenario.
+
+    ``months`` (the matrix-wide horizon override) is folded in before
+    hashing, so a preset with ``months=5`` run at ``months=0.5`` and a
+    preset natively declaring ``months=0.5`` share cells.
+    """
+    doc = spec.to_dict()
+    if months is not None:
+        doc["months"] = float(months)
+    doc.pop("seed", None)
+    return content_hash(doc)
+
+
+def format_cell_key(spec_hash: str, seed: int, months: float) -> str:
+    """Canonical ``<spec-hash>:<seed>:<months>`` key of one matrix cell
+    (for callers that already hold the spec hash — the batch engine hashes
+    each spec once and reuses it across the whole seed row)."""
+    return f"{spec_hash}:{seed}:{float(months):g}"
+
+
+def cell_key(spec: ScenarioSpec, seed: int, months: Optional[float] = None) -> str:
+    """Canonical key of one matrix cell, hashed from the spec."""
+    effective = float(months) if months is not None else float(spec.months)
+    return format_cell_key(cell_hash(spec, months), seed, effective)
+
+
+@dataclass(frozen=True)
+class StoredCell:
+    """One archived matrix cell (a success or a recorded failure)."""
+
+    key: str
+    spec_hash: str
+    scenario: str
+    seed: int
+    months: float
+    spec: dict
+    report: Optional[CampaignReport] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.report is not None
+
+    def to_doc(self) -> dict:
+        return {
+            "v": _FORMAT,
+            "key": self.key,
+            "spec_hash": self.spec_hash,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "months": self.months,
+            "spec": self.spec,
+            "status": "ok" if self.ok else "error",
+            "report": self.report.to_dict() if self.report is not None else None,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "StoredCell":
+        if doc.get("v") != _FORMAT:
+            raise StoreFormatError(
+                f"unsupported store record version {doc.get('v')!r}")
+        report_doc = doc.get("report")
+        return cls(
+            key=doc["key"],
+            spec_hash=doc["spec_hash"],
+            scenario=doc["scenario"],
+            seed=int(doc["seed"]),
+            months=float(doc["months"]),
+            spec=doc["spec"],
+            report=(CampaignReport.from_dict(report_doc)
+                    if report_doc is not None else None),
+            error=doc.get("error"),
+        )
+
+
+class CampaignStore:
+    """Append-only JSONL archive of campaign cells, indexed in memory.
+
+    Opening a store replays the file into a ``key -> StoredCell`` index
+    (last record wins, so re-running a cell simply supersedes it).  Every
+    :meth:`record` append is durable before it returns — a crashed driver
+    loses at most the cell it was executing, never a finished one.
+    """
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"]):
+        self.path = os.fspath(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._cells: dict[str, StoredCell] = {}
+        if os.path.exists(self.path):
+            for doc in iter_jsonl(self.path):
+                if not isinstance(doc, dict):
+                    continue  # damaged record: JSON, but not one of ours
+                try:
+                    cell = StoredCell.from_doc(doc)
+                except StoreFormatError:
+                    raise  # a future format must not become silent data loss
+                except (KeyError, TypeError, ValueError):
+                    continue  # field-damaged record loses only itself
+                self._cells[cell.key] = cell
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cells
+
+    def get(self, key: str) -> Optional[StoredCell]:
+        return self._cells.get(key)
+
+    def cells(self) -> Iterator[StoredCell]:
+        """All indexed cells (deduplicated, file order of last write)."""
+        return iter(self._cells.values())
+
+    def successes(self) -> list[StoredCell]:
+        return [c for c in self._cells.values() if c.ok]
+
+    def failures(self) -> list[StoredCell]:
+        return [c for c in self._cells.values() if not c.ok]
+
+    def scenarios(self) -> list[str]:
+        """Distinct scenario names, sorted."""
+        return sorted({c.scenario for c in self._cells.values()})
+
+    # -- writes ----------------------------------------------------------------
+
+    def record(self, cell: StoredCell) -> StoredCell:
+        """Durably append one finished cell and index it."""
+        append_jsonl(self.path, cell.to_doc())
+        self._cells[cell.key] = cell
+        return cell
+
+    def record_success(self, spec: ScenarioSpec, seed: int,
+                       report: CampaignReport,
+                       months: Optional[float] = None,
+                       spec_hash: Optional[str] = None) -> StoredCell:
+        return self.record(self._make_cell(spec, seed, months, spec_hash,
+                                           report=report))
+
+    def record_failure(self, spec: ScenarioSpec, seed: int, error: str,
+                       months: Optional[float] = None,
+                       spec_hash: Optional[str] = None) -> StoredCell:
+        return self.record(self._make_cell(spec, seed, months, spec_hash,
+                                           error=error))
+
+    def _make_cell(self, spec: ScenarioSpec, seed: int,
+                   months: Optional[float],
+                   spec_hash: Optional[str] = None,
+                   report: Optional[CampaignReport] = None,
+                   error: Optional[str] = None) -> StoredCell:
+        effective = float(months) if months is not None else float(spec.months)
+        if spec_hash is None:
+            spec_hash = cell_hash(spec, months)
+        # the archived spec must describe exactly what ran: fold in the
+        # horizon override and the cell's seed (not the preset's default)
+        doc = spec.to_dict()
+        doc["months"] = effective
+        doc["seed"] = seed
+        return StoredCell(
+            key=format_cell_key(spec_hash, seed, effective),
+            spec_hash=spec_hash,
+            scenario=spec.name,
+            seed=seed,
+            months=effective,
+            spec=doc,
+            report=report,
+            error=error,
+        )
+
+    # -- interop ---------------------------------------------------------------
+
+    def runs(self, scenarios: Optional[list[str]] = None,
+             disambiguate: bool = True) -> "list[Any]":
+        """Stored cells as :class:`~repro.core.batch.CampaignRun` values
+        (sorted scenario-major, seed-minor — the matrix order
+        ``run_campaigns`` returns), optionally filtered by scenario name.
+
+        A store legitimately holds one scenario name at several variants
+        (most commonly different ``--months`` horizons — distinct cells by
+        design).  With ``disambiguate=True`` those get display names
+        (``name@0.5mo``, or ``name#<hash>`` when the horizons coincide) so
+        that ``aggregate_runs`` groups each variant separately instead of
+        refusing the whole archive.  Pass ``disambiguate=False`` for
+        machine consumers that join on the original name — display labels
+        would retroactively change when new variants are appended, the
+        stored names and ``spec_hash`` never do.
+        """
+        from .batch import CampaignRun  # local import avoids a cycle
+        cells = [c for c in self._cells.values()
+                 if scenarios is None or c.scenario in scenarios]
+        variants: dict[str, dict[str, float]] = {}
+        for c in cells:
+            variants.setdefault(c.scenario, {})[c.spec_hash] = c.months
+
+        def label(c: StoredCell) -> str:
+            v = variants[c.scenario]
+            if not disambiguate or len(v) == 1:
+                return c.scenario
+            if len(set(v.values())) == len(v):  # horizons tell them apart
+                return f"{c.scenario}@{c.months:g}mo"
+            return f"{c.scenario}#{c.spec_hash[:6]}"
+
+        cells.sort(key=lambda c: (c.scenario, c.months, c.seed))
+        return [CampaignRun(scenario=label(c), seed=c.seed, report=c.report,
+                            spec_hash=c.spec_hash, error=c.error)
+                for c in cells]

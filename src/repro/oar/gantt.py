@@ -75,10 +75,21 @@ class NodeTimeline:
         return removed
 
     def truncate_job(self, job_id: int, end: float) -> None:
-        """Shorten a running job's reservation (early release)."""
+        """Shorten a running job's reservation (early release).
+
+        Truncating to at/before the reservation's start drops the entry
+        entirely — a zero-length ``[start, start)`` residue would linger in
+        ``_starts`` and distort ``release_points``/``candidate_starts``
+        until the next purge.
+        """
         for i, r in enumerate(self._reservations):
             if r.job_id == job_id and r.end > end:
-                self._reservations[i] = Reservation(r.start, max(r.start, end), job_id)
+                if end <= r.start:
+                    del self._starts[i]
+                    del self._reservations[i]
+                else:
+                    self._reservations[i] = Reservation(r.start, end, job_id)
+                return
 
     def busy_until(self, t: float) -> float:
         """End of the reservation covering ``t`` (or ``t`` if free)."""

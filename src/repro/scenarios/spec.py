@@ -24,7 +24,12 @@ from ..checksuite.registry import ALL_FAMILIES, family_by_name
 from ..oar.workload import WorkloadConfig
 from ..scheduling.policies import SchedulerPolicy
 from ..testbed.generator import CLUSTER_SPECS, ClusterSpec
-from ..util.serialization import canonical_json, decode_dataclass, encode_dataclass
+from ..util.serialization import (
+    canonical_json,
+    content_hash,
+    decode_dataclass,
+    encode_dataclass,
+)
 from ..util.simclock import DAY
 
 __all__ = ["ScenarioSpec"]
@@ -111,6 +116,16 @@ class ScenarioSpec:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
         return decode_dataclass(cls, data)
+
+    def content_hash(self) -> str:
+        """Short stable hash of the full spec document.
+
+        Two specs hash equal iff every declarative knob matches; the
+        campaign store keys cells by a variant of this hash (seed
+        excluded, horizon override folded in) so that two different
+        worlds can never collide on one archive slot.
+        """
+        return content_hash(self.to_dict())
 
     def to_json(self, indent: Optional[int] = None) -> str:
         if indent is None:

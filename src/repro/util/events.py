@@ -263,10 +263,13 @@ class Resource:
     """A capacity-limited FIFO resource.
 
     ``request()`` returns an event that succeeds once a slot is available;
-    the holder must call ``release()`` exactly once.
+    the holder must call ``release(request)`` exactly once.  The request
+    event is the grant token: the resource tracks exactly which requests
+    hold slots, so double releases are a loud error and :meth:`cancel` is
+    safe to call regardless of whether the holder already released.
     """
 
-    __slots__ = ("sim", "capacity", "in_use", "_waiters")
+    __slots__ = ("sim", "capacity", "in_use", "_waiters", "_granted")
 
     def __init__(self, sim: "Simulator", capacity: int):
         if capacity < 1:
@@ -275,6 +278,7 @@ class Resource:
         self.capacity = capacity
         self.in_use = 0
         self._waiters: list[Event] = []
+        self._granted: set[Event] = set()
 
     @property
     def available(self) -> int:
@@ -288,27 +292,42 @@ class Resource:
         ev = Event(self.sim)
         if self.in_use < self.capacity:
             self.in_use += 1
+            self._granted.add(ev)
             ev.succeed(self)
         else:
             self._waiters.append(ev)
         return ev
 
-    def release(self) -> None:
-        if self.in_use <= 0:
-            raise SimulationError("release() without a matching request()")
+    def release(self, request_event: Event) -> None:
+        """Give the slot of ``request_event`` back (or hand it straight to
+        the next waiter).
+
+        The release is checked against grant state: releasing a request
+        that holds no slot (double release, a still-queued request, or a
+        request that was cancelled) raises instead of corrupting the
+        capacity accounting.
+        """
+        if request_event not in self._granted:
+            raise SimulationError(
+                "release() of a request that holds no slot "
+                "(double release or cancelled request?)")
+        self._granted.discard(request_event)
         if self._waiters:
             ev = self._waiters.pop(0)
+            self._granted.add(ev)
             ev.succeed(self)  # slot handed over directly
         else:
             self.in_use -= 1
 
     def cancel(self, request_event: Event) -> None:
         """Withdraw a request: un-queue it, or release the slot if it was
-        already granted.  Safe to call regardless of grant state."""
+        granted and not yet released.  Idempotent — cancelling a request
+        whose holder already released (or cancelling twice) is a no-op
+        rather than a phantom release that would inflate capacity."""
         if request_event in self._waiters:
             self._waiters.remove(request_event)
-        elif request_event.triggered:
-            self.release()
+        elif request_event in self._granted:
+            self.release(request_event)
 
 
 class Simulator:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import types
 import typing
 from dataclasses import dataclass
@@ -25,6 +26,8 @@ __all__ = [
     "deep_get",
     "encode_dataclass",
     "decode_dataclass",
+    "append_jsonl",
+    "iter_jsonl",
 ]
 
 
@@ -45,21 +48,61 @@ def content_hash(doc: Any) -> str:
 # as tuples, nested dataclasses as the right type — so that
 # ``decode_dataclass(cls, encode_dataclass(x)) == x`` holds and scenario
 # files can be hashed with :func:`content_hash`.
+#
+# Two normalizations keep the documents canonical and strictly JSON:
+#
+# * int values in float-typed fields encode as floats, so
+#   ``ScenarioSpec(months=1)`` and ``ScenarioSpec(months=1.0)`` produce the
+#   same document — and therefore the same content hash / store cell;
+# * float NaN encodes as ``null`` (bare ``NaN`` tokens are not RFC-8259
+#   JSON and break jq/JS parsers); ``null`` in a plain ``float`` field
+#   decodes back to NaN.  Caveat: in an ``Optional[float]`` field ``null``
+#   is ambiguous and decodes to None — NaN does not survive a round-trip
+#   there, so keep NaN-able metrics typed as plain ``float``.
 
 _T = TypeVar("_T")
+
+#: Per-class cache of which field names are float-typed (incl. Optional).
+_FLOAT_FIELDS: dict[type, frozenset] = {}
+
+
+def _float_fields(cls: type) -> frozenset:
+    cached = _FLOAT_FIELDS.get(cls)
+    if cached is None:
+        hints = typing.get_type_hints(cls)
+        names = set()
+        for f in dataclasses.fields(cls):
+            hint = hints.get(f.name)
+            if hint is float:
+                names.add(f.name)
+            else:
+                origin = typing.get_origin(hint)
+                if (origin is Union
+                        or isinstance(hint, getattr(types, "UnionType", ()))):
+                    if float in typing.get_args(hint):
+                        names.add(f.name)
+        cached = _FLOAT_FIELDS[cls] = frozenset(names)
+    return cached
 
 
 def encode_dataclass(obj: Any) -> Any:
     """Recursively convert a dataclass instance to a JSON-able document."""
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            f.name: encode_dataclass(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
+        floats = _float_fields(type(obj))
+        doc = {}
+        for f in dataclasses.fields(obj):
+            value = getattr(obj, f.name)
+            if (f.name in floats and isinstance(value, int)
+                    and not isinstance(value, bool)):
+                value = float(value)
+            doc[f.name] = encode_dataclass(value)
+        return doc
     if isinstance(obj, (list, tuple)):
         return [encode_dataclass(v) for v in obj]
     if isinstance(obj, dict):
         return {str(k): encode_dataclass(v) for k, v in obj.items()}
+    if isinstance(obj, float) and obj != obj:  # NaN -> null
+        return None
     return obj
 
 
@@ -104,6 +147,8 @@ def _decode_value(hint: Any, value: Any) -> Any:
         val_arm = args[1] if len(args) == 2 else Any
         return {_decode_key(key_arm, k): _decode_value(val_arm, v)
                 for k, v in value.items()}
+    if hint is float and value is None:
+        return float("nan")  # NaN encodes as null (strict JSON has no NaN)
     if hint is float and isinstance(value, int) and not isinstance(value, bool):
         return float(value)
     if hint is int and isinstance(value, bool):
@@ -132,6 +177,54 @@ def decode_dataclass(cls: Type[_T], data: Any) -> _T:
         name: _decode_value(hints[name], value) for name, value in data.items()
     }
     return cls(**kwargs)
+
+
+# -- JSON-lines persistence ----------------------------------------------------
+#
+# The campaign result store appends one record per finished cell; JSONL keeps
+# every append an O(1) crash-safe operation (a torn final line from a killed
+# process is skipped on read instead of corrupting the whole archive).
+
+
+def append_jsonl(path: Union[str, "os.PathLike[str]"], doc: Any) -> None:
+    """Append one JSON document as a single line, flushed + fsynced.
+
+    If the file's last byte is not a newline (a writer was killed
+    mid-append), the torn line is sealed with a newline first so the new
+    record cannot be glued onto the partial one.
+    """
+    # allow_nan=False keeps the archive strict RFC-8259 JSON (jq-safe);
+    # NaN metrics must be mapped to null upstream (encode_dataclass does).
+    line = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+    with open(path, "a+b") as fh:
+        fh.seek(0, os.SEEK_END)
+        if fh.tell() > 0:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) != b"\n":
+                fh.write(b"\n")
+        fh.write(line.encode("utf-8") + b"\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def iter_jsonl(path: Union[str, "os.PathLike[str]"]) -> Iterator[Any]:
+    """Yield documents from a JSONL file, skipping blank or damaged lines.
+
+    Torn lines from killed writers are expected artifacts: usually the
+    final line, but a later append seals a torn tail with a newline, so a
+    partial record can also sit mid-file.  Unparseable lines lose only
+    themselves, never the archive.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
 
 
 @dataclass(frozen=True)

@@ -106,7 +106,9 @@ def format_time(t: float) -> str:
 def format_duration(seconds: float) -> str:
     """Compact duration rendering, e.g. ``'2d 03:15:00'`` or ``'45s'``."""
     if seconds < 0:
-        return "-" + format_duration(-seconds)
+        rendered = format_duration(-seconds)
+        # avoid "-0s" when the magnitude rounds away to nothing
+        return rendered if rendered == "0s" else "-" + rendered
     total = int(round(seconds))
     if total < 60:
         return f"{total}s"

@@ -1,0 +1,119 @@
+"""Scenario-vs-baseline comparison: deltas, CI overlap, rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import compare_aggregates, compare_runs, format_comparison
+from repro.core.batch import MetricSummary
+
+
+def summary(mean, ci95=0.0, n=3, std=0.0):
+    return MetricSummary(mean=mean, std=std, ci95=ci95, n=n)
+
+
+def aggregated(**scenarios):
+    """{scenario: {metric: MetricSummary}} from keyword shorthand."""
+    return scenarios
+
+
+def test_disjoint_intervals_are_significant():
+    agg = aggregated(
+        base={"bugs_filed": summary(10.0, ci95=1.0)},
+        louder={"bugs_filed": summary(20.0, ci95=2.0)},
+    )
+    (d,) = compare_aggregates(agg, "base", metrics=["bugs_filed"])["louder"]
+    assert d.delta == pytest.approx(10.0)
+    assert d.pct == pytest.approx(1.0)
+    assert not d.ci_overlap
+    assert d.significant
+
+
+def test_overlapping_intervals_are_not_significant():
+    agg = aggregated(
+        base={"bugs_filed": summary(10.0, ci95=5.0)},
+        other={"bugs_filed": summary(12.0, ci95=5.0)},
+    )
+    (d,) = compare_aggregates(agg, "base", metrics=["bugs_filed"])["other"]
+    assert d.ci_overlap and not d.significant
+
+
+def test_touching_intervals_overlap():
+    # [8, 12] and [12, 16] share exactly one point: conservatively overlap
+    agg = aggregated(
+        base={"m": summary(10.0, ci95=2.0)},
+        other={"m": summary(14.0, ci95=2.0)},
+    )
+    (d,) = compare_aggregates(agg, "base", metrics=["m"])["other"]
+    assert d.ci_overlap
+
+
+def test_empty_sample_side_yields_nan_delta():
+    agg = aggregated(
+        base={"m": summary(float("nan"), n=0)},
+        other={"m": summary(5.0)},
+    )
+    (d,) = compare_aggregates(agg, "base", metrics=["m"])["other"]
+    assert math.isnan(d.delta) and d.ci_overlap and not d.significant
+
+
+def test_zero_baseline_mean_has_nan_pct():
+    agg = aggregated(
+        base={"m": summary(0.0, ci95=0.1)},
+        other={"m": summary(5.0, ci95=0.1)},
+    )
+    (d,) = compare_aggregates(agg, "base", metrics=["m"])["other"]
+    assert math.isnan(d.pct) and d.significant
+
+
+def test_single_seed_sides_are_never_significant():
+    # n=1 gives ci95=0 — a point, not an interval; any nonzero delta would
+    # look "disjoint", but seed noise cannot be resolved from one draw
+    agg = aggregated(
+        base={"m": summary(10.0, ci95=0.0, n=1)},
+        other={"m": summary(15.0, ci95=0.0, n=1)},
+    )
+    (d,) = compare_aggregates(agg, "base", metrics=["m"])["other"]
+    assert not d.ci_overlap  # the points do differ...
+    assert not d.significant  # ...but one seed resolves nothing
+
+
+def test_missing_baseline_raises():
+    with pytest.raises(KeyError, match="nope"):
+        compare_aggregates(aggregated(a={"m": summary(1.0)}), "nope")
+
+
+def test_baseline_excluded_from_output():
+    agg = aggregated(a={"m": summary(1.0)}, b={"m": summary(2.0)})
+    deltas = compare_aggregates(agg, "a", metrics=["m"])
+    assert set(deltas) == {"b"}
+
+
+def test_format_comparison_marks_significance():
+    agg = aggregated(
+        base={"m": summary(10.0, ci95=1.0), "k": summary(5.0, ci95=5.0)},
+        other={"m": summary(20.0, ci95=1.0), "k": summary(6.0, ci95=5.0)},
+    )
+    deltas = compare_aggregates(agg, "base", metrics=["m", "k"])
+    text = format_comparison(deltas, baseline="base")
+    assert "* m" in text
+    assert "~ k" in text
+    only = format_comparison(deltas, baseline="base", only_significant=True)
+    assert "* m" in only and "~ k" not in only
+
+
+def test_compare_runs_end_to_end():
+    from repro import run_campaigns, scenarios
+    from repro.oar import WorkloadConfig
+
+    base = scenarios.ScenarioSpec(
+        name="cmp-base", months=0.1, clusters=("grisou",),
+        families=("refapi",), backlog_faults=2,
+        workload=WorkloadConfig(target_utilization=0.25))
+    stormy = base.derive(name="cmp-stormy", backlog_faults=30)
+    runs = run_campaigns([base, stormy], seeds=[0, 1], workers=1)
+    deltas = compare_runs(runs, baseline="cmp-base")
+    by_metric = {d.metric: d for d in deltas["cmp-stormy"]}
+    # 15x the fault backlog must show up as more injected faults
+    assert by_metric["faults_injected"].delta > 0
+    assert set(deltas) == {"cmp-stormy"}

@@ -110,3 +110,88 @@ def test_summarize_runs_renders():
     assert "batch-fast" in text
     assert "bugs_filed" in text
     assert "n=2" in text
+
+
+# -- streaming engine: error capture, callbacks, worker invariance ------------
+
+
+def crashing_spec(name="batch-crash"):
+    # executors=0 passes spec validation but blows up in the builder
+    # (Resource capacity must be >= 1) — a deterministic in-worker crash.
+    return fast_spec(name, executors=0)
+
+
+def test_crashing_cell_does_not_abort_matrix():
+    runs = run_campaigns([crashing_spec(), fast_spec()], seeds=[0, 1],
+                         workers=1)
+    assert [(r.scenario, r.seed) for r in runs] == [
+        ("batch-crash", 0), ("batch-crash", 1),
+        ("batch-fast", 0), ("batch-fast", 1)]
+    crashed = [r for r in runs if r.scenario == "batch-crash"]
+    healthy = [r for r in runs if r.scenario == "batch-fast"]
+    assert all(not r.ok and r.report is None for r in crashed)
+    assert all("capacity" in r.error for r in crashed)
+    assert all(r.ok for r in healthy)
+
+
+def test_crashing_cell_survives_worker_pool():
+    runs = run_campaigns([crashing_spec(), fast_spec()], seeds=[0, 1],
+                         workers=2)
+    assert sum(1 for r in runs if r.ok) == 2
+    assert sum(1 for r in runs if not r.ok) == 2
+    # and the pool kept matrix order despite unordered completion
+    assert [(r.scenario, r.seed) for r in runs] == [
+        ("batch-crash", 0), ("batch-crash", 1),
+        ("batch-fast", 0), ("batch-fast", 1)]
+
+
+def test_on_cell_fires_once_per_cell():
+    seen = []
+    runs = run_campaigns([fast_spec()], seeds=[0, 1], workers=1,
+                         on_cell=lambda r, cached: seen.append(
+                             (r.scenario, r.seed, cached)))
+    assert sorted(seen) == [("batch-fast", 0, False), ("batch-fast", 1, False)]
+    assert len(runs) == 2
+
+
+def test_worker_count_invariance_property():
+    """workers=1 and workers=N produce byte-identical matrices, including
+    captured failures, at every worker count."""
+    specs = [fast_spec("inv-a"), crashing_spec("inv-x"),
+             fast_spec("inv-b", backlog_faults=6)]
+    seeds = [0, 1]
+    serial = run_campaigns(specs, seeds=seeds, workers=1)
+    for workers in (2, 3, 4):
+        parallel = run_campaigns(specs, seeds=seeds, workers=workers)
+        assert [(r.scenario, r.seed, r.ok, r.spec_hash) for r in serial] == \
+            [(r.scenario, r.seed, r.ok, r.spec_hash) for r in parallel]
+        assert [report_doc(r.report) for r in serial if r.ok] == \
+            [report_doc(r.report) for r in parallel if r.ok]
+
+
+def test_aggregate_skips_failed_runs():
+    runs = run_campaigns([crashing_spec(), fast_spec()], seeds=[0, 1],
+                         workers=1)
+    agg = aggregate_runs(runs)
+    assert "batch-crash" not in agg  # nothing but failures: no block
+    assert agg["batch-fast"]["total_builds"].n == 2
+    text = summarize_runs(runs)
+    assert "failed cells (2)" in text
+    assert "batch-crash @ seed 0" in text
+
+
+def test_aggregate_rejects_conflicting_specs_under_one_name():
+    # same name, different world: merging them into one CI would be bogus
+    a = run_campaigns([fast_spec("dup")], seeds=[0], workers=1)
+    b = run_campaigns([fast_spec("dup", backlog_faults=9)], seeds=[1],
+                      workers=1)
+    with pytest.raises(ValueError, match="dup"):
+        aggregate_runs(a + b)
+
+
+def test_aggregate_accepts_same_spec_under_one_name():
+    # the same world listed twice (e.g. two resumed slices) is fine
+    a = run_campaigns([fast_spec("same")], seeds=[0], workers=1)
+    b = run_campaigns([fast_spec("same")], seeds=[1], workers=1)
+    agg = aggregate_runs(a + b)
+    assert agg["same"]["total_builds"].n == 2

@@ -59,6 +59,35 @@ def test_truncate_job_frees_tail():
     assert not tl.is_free(0.0, 30.0)
 
 
+def test_truncate_at_or_before_start_drops_reservation():
+    # Regression: a job released at/before its scheduled start used to
+    # leave a zero-length [start, start) residue whose stale entry in
+    # _starts distorted release_points/candidate_starts until purge.
+    tl = NodeTimeline()
+    tl.add(Reservation(50.0, 100.0, 7))
+    tl.truncate_job(7, 50.0)  # released exactly at start
+    assert len(tl) == 0
+    assert tl.is_free(0.0, 200.0)
+    assert tl.release_points(0.0) == []
+
+    tl.add(Reservation(50.0, 100.0, 8))
+    tl.truncate_job(8, 10.0)  # released before start
+    assert len(tl) == 0
+    assert tl.release_points(0.0) == []
+    # the slot is genuinely reusable
+    tl.add(Reservation(50.0, 100.0, 9))
+    assert not tl.is_free(50.0, 100.0)
+
+
+def test_truncate_keeps_other_jobs_intact():
+    tl = NodeTimeline()
+    tl.add(Reservation(0.0, 10.0, 1))
+    tl.add(Reservation(10.0, 20.0, 2))
+    tl.truncate_job(1, 0.0)  # drops job 1 entirely
+    assert tl.release_points(0.0) == [20.0]
+    assert [r.job_id for r in tl] == [2]
+
+
 def test_busy_until():
     tl = NodeTimeline()
     tl.add(Reservation(10.0, 20.0, 1))

@@ -1,0 +1,175 @@
+"""The repro-campaign CLI: run/report/compare subcommands + legacy form."""
+
+import json
+
+import pytest
+
+from repro import scenarios
+from repro.cli import main
+from repro.core.store import CampaignStore
+
+SMOKE = ["--months", "0.1", "--seeds", "0"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+def test_list_presets(capsys):
+    code, out, _ = run_cli(capsys, "--list")
+    assert code == 0
+    for spec in scenarios.all_presets():
+        assert spec.name in out
+
+
+def test_legacy_implicit_run(capsys):
+    code, out, _ = run_cli(capsys, "tiny-smoke", *SMOKE, "--quiet")
+    assert code == 0
+    assert "campaign over 0.1 months" in out
+
+
+def test_legacy_list_with_positional(capsys):
+    # pre-subcommand CLI honoured --list regardless of other arguments
+    code, out, _ = run_cli(capsys, "tiny-smoke", "--list")
+    assert code == 0
+    assert "tiny-smoke" in out and "paper-baseline" in out
+
+
+def test_legacy_flags_only_invocation(capsys):
+    # pre-subcommand CLI ran the default preset for flags-only argv too
+    code, out, _ = run_cli(capsys, *SMOKE, "--json")
+    assert code == 0
+    docs = json.loads(out)
+    assert docs[0]["scenario"] == "tiny-smoke"
+
+
+def test_run_unknown_preset(capsys):
+    code, _, err = run_cli(capsys, "run", "no-such-preset", "--quiet")
+    assert code == 2
+    assert "no-such-preset" in err
+
+
+def test_run_json_output(capsys):
+    code, out, _ = run_cli(capsys, "run", "tiny-smoke", *SMOKE, "--json")
+    assert code == 0
+    docs = json.loads(out)
+    assert len(docs) == 1
+    assert docs[0]["scenario"] == "tiny-smoke"
+    assert docs[0]["error"] is None
+    assert docs[0]["report"]["months"] == 0.1
+    assert docs[0]["spec_hash"]
+
+
+def test_run_with_store_then_resume(tmp_path, capsys):
+    store = str(tmp_path / "s.jsonl")
+    code, _, err = run_cli(capsys, "run", "tiny-smoke", *SMOKE,
+                           "--store", store)
+    assert code == 0
+    assert "[1/1] tiny-smoke @ seed 0: ok" in err
+    assert len(CampaignStore(store)) == 1
+
+    code, _, err = run_cli(capsys, "run", "tiny-smoke", *SMOKE,
+                           "--store", store, "--resume")
+    assert code == 0
+    assert "cached" in err
+
+
+def test_resume_requires_store(capsys):
+    code, _, err = run_cli(capsys, "run", "tiny-smoke", "--resume")
+    assert code == 2
+    assert "--store" in err
+
+
+def test_report_subcommand(tmp_path, capsys):
+    store = str(tmp_path / "s.jsonl")
+    run_cli(capsys, "run", "tiny-smoke", "--months", "0.1",
+            "--seeds", "0,1", "--store", store, "--quiet")
+    code, out, _ = run_cli(capsys, "report", store)
+    assert code == 0
+    assert "2 cells (2 ok, 0 failed)" in out
+    assert "tiny-smoke" in out and "n=2" in out
+
+
+def test_report_empty_store(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    code, _, err = run_cli(capsys, "report", str(path))
+    assert code == 1
+    assert "empty" in err
+
+
+def test_report_missing_store(tmp_path, capsys):
+    code, _, err = run_cli(capsys, "report", str(tmp_path / "nope.jsonl"))
+    assert code == 2
+    assert "cannot load" in err
+
+
+def test_run_with_incompatible_store_fails_cleanly(tmp_path, capsys):
+    store = tmp_path / "future.jsonl"
+    store.write_text(json.dumps({"v": 999, "key": "x"}) + "\n"
+                     + json.dumps({"v": 999, "key": "y"}) + "\n")
+    code, _, err = run_cli(capsys, "run", "tiny-smoke", *SMOKE,
+                           "--store", str(store))
+    assert code == 2
+    assert "cannot load" in err
+
+
+def test_report_mixed_horizons_disambiguates(tmp_path, capsys):
+    # the same preset archived at two horizons is two different worlds;
+    # report must summarize both (as distinct variants), not refuse or merge
+    store = str(tmp_path / "s.jsonl")
+    run_cli(capsys, "run", "tiny-smoke", "--months", "0.1", "--seeds", "0",
+            "--store", store, "--quiet")
+    run_cli(capsys, "run", "tiny-smoke", "--months", "0.12", "--seeds", "0",
+            "--store", store, "--quiet")
+    code, out, _ = run_cli(capsys, "report", store)
+    assert code == 0
+    assert "tiny-smoke@0.1mo" in out
+    assert "tiny-smoke@0.12mo" in out
+    # the machine-readable form keeps the stable archived names
+    code, out, _ = run_cli(capsys, "report", store, "--json")
+    assert code == 0
+    assert {d["scenario"] for d in json.loads(out)} == {"tiny-smoke"}
+
+
+def test_report_tolerates_damaged_records(tmp_path, capsys):
+    # valid-JSON-but-not-ours lines lose only themselves
+    store = str(tmp_path / "s.jsonl")
+    run_cli(capsys, "run", "tiny-smoke", *SMOKE, "--store", store, "--quiet")
+    with open(store, "a", encoding="utf-8") as fh:
+        fh.write("[1, 2]\n")
+        fh.write(json.dumps({"v": 1}) + "\n")  # right version, no fields
+    code, out, _ = run_cli(capsys, "report", store)
+    assert code == 0
+    assert "1 cells (1 ok, 0 failed)" in out
+
+
+def test_compare_subcommand(tmp_path, capsys):
+    # compare works off the archived store alone; fill it via the API so
+    # the test stays on small, fast scenarios instead of full presets
+    from repro import run_campaigns
+    from repro.oar import WorkloadConfig
+
+    base = scenarios.ScenarioSpec(
+        name="cli-base", months=0.1, clusters=("grisou",),
+        families=("refapi",), backlog_faults=2,
+        workload=WorkloadConfig(target_utilization=0.25))
+    stormy = base.derive(name="cli-stormy", backlog_faults=30)
+    store = str(tmp_path / "s.jsonl")
+    run_campaigns([base, stormy], seeds=[0, 1], workers=1, store=store)
+
+    code, out, _ = run_cli(capsys, "compare", store,
+                           "--baseline", "cli-base")
+    assert code == 0
+    assert "baseline: cli-base" in out
+    assert "cli-stormy" in out
+
+
+def test_compare_unknown_baseline(tmp_path, capsys):
+    store = str(tmp_path / "s.jsonl")
+    run_cli(capsys, "run", "tiny-smoke", *SMOKE, "--store", store, "--quiet")
+    code, _, err = run_cli(capsys, "compare", store, "--baseline", "nope")
+    assert code == 2
+    assert "nope" in err

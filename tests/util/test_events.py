@@ -263,10 +263,11 @@ def test_resource_serializes_access():
     spans = []
 
     def user(name, hold):
-        yield res.request()
+        req = res.request()
+        yield req
         start = sim.now
         yield sim.timeout(hold)
-        res.release()
+        res.release(req)
         spans.append((name, start, sim.now))
 
     sim.process(user("a", 5.0))
@@ -281,9 +282,10 @@ def test_resource_capacity_allows_parallelism():
     done = []
 
     def user(name):
-        yield res.request()
+        req = res.request()
+        yield req
         yield sim.timeout(4.0)
-        res.release()
+        res.release(req)
         done.append((name, sim.now))
 
     for name in "abc":
@@ -296,19 +298,89 @@ def test_resource_release_without_request_raises():
     sim = Simulator()
     res = sim.resource(capacity=1)
     with pytest.raises(SimulationError):
-        res.release()
+        res.release(sim.event())  # never requested, holds no slot
+    # a queued-but-not-granted request cannot be released either
+    res.request()
+    queued = res.request()
+    with pytest.raises(SimulationError):
+        res.release(queued)
+
+
+def test_resource_cancel_after_release_is_noop():
+    # Regression: cancel() used to call release() for any triggered
+    # request, so cancelling a request whose holder already released
+    # handed out a phantom slot and permanently inflated capacity.
+    sim = Simulator()
+    res = sim.resource(capacity=1)
+    req = res.request()
+    assert res.in_use == 1
+    res.release(req)
+    assert res.in_use == 0
+    res.cancel(req)  # holder already gave the slot back: must be a no-op
+    assert res.in_use == 0
+    assert res.available == 1
+    # capacity is not inflated: two holders still serialize
+    a, b = res.request(), res.request()
+    assert a.triggered and not b.triggered
+
+
+def test_resource_cancel_is_idempotent():
+    sim = Simulator()
+    res = sim.resource(capacity=1)
+    req = res.request()
+    res.cancel(req)
+    res.cancel(req)
+    assert res.in_use == 0 and res.available == 1
+
+
+def test_resource_double_release_with_request_raises():
+    sim = Simulator()
+    res = sim.resource(capacity=2)
+    req = res.request()
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+    # and releasing a cancelled request is equally loud
+    other = res.request()
+    res.cancel(other)
+    with pytest.raises(SimulationError):
+        res.release(other)
+
+
+def test_resource_cancel_queued_request():
+    sim = Simulator()
+    res = sim.resource(capacity=1)
+    holder = res.request()
+    queued = res.request()
+    assert res.queue_length == 1
+    res.cancel(queued)  # just un-queues; the slot is untouched
+    assert res.queue_length == 0
+    assert res.in_use == 1
+    res.release(holder)
+    assert res.available == 1
+
+
+def test_resource_cancel_granted_hands_slot_to_waiter():
+    sim = Simulator()
+    res = sim.resource(capacity=1)
+    holder = res.request()
+    waiter = res.request()
+    res.cancel(holder)  # granted but unused: slot goes to the waiter
+    sim.run()
+    assert waiter.triggered
+    assert res.in_use == 1
 
 
 def test_resource_counters():
     sim = Simulator()
     res = sim.resource(capacity=2)
-    res.request()
+    first = res.request()
     assert res.available == 1
     res.request()
     assert res.available == 0
     res.request()  # queued
     assert res.queue_length == 1
-    res.release()
+    res.release(first)
     sim.run()
     assert res.queue_length == 0
     assert res.available == 0

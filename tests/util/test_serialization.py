@@ -1,6 +1,13 @@
 """Unit tests for canonical JSON and deep diffing."""
 
-from repro.util import canonical_json, content_hash, deep_diff, deep_get
+from repro.util import (
+    canonical_json,
+    content_hash,
+    decode_dataclass,
+    deep_diff,
+    deep_get,
+    encode_dataclass,
+)
 
 
 def test_canonical_json_sorts_keys():
@@ -157,3 +164,49 @@ def test_dict_keys_round_trip_by_annotation():
     doc = encode_dataclass(w)
     assert doc == {"by_rank": {"1": 2.0, "7": 0.5}}  # JSON keys are strings
     assert decode_dataclass(Weights, doc) == w
+
+
+def test_encode_normalizes_int_valued_float_fields():
+    # months=1 and months=1.0 must produce identical documents (and so
+    # identical content hashes / campaign-store cells)
+    import dataclasses as dc
+
+    @dc.dataclass
+    class Cfg:
+        months: float = 5.0
+        count: int = 3
+
+    a, b = Cfg(months=1), Cfg(months=1.0)
+    assert encode_dataclass(a) == encode_dataclass(b)
+    assert canonical_json(encode_dataclass(a)) == \
+        canonical_json(encode_dataclass(b))
+    assert isinstance(encode_dataclass(a)["months"], float)
+    assert isinstance(encode_dataclass(a)["count"], int)  # ints untouched
+
+
+def test_nan_encodes_as_null_and_decodes_back():
+    import dataclasses as dc
+    import json
+    import math
+
+    @dc.dataclass
+    class Metrics:
+        latency: float = 0.0
+
+    doc = encode_dataclass(Metrics(latency=float("nan")))
+    assert doc["latency"] is None
+    # strict parsers accept the document
+    json.loads(json.dumps(doc, allow_nan=False))
+    back = decode_dataclass(Metrics, doc)
+    assert math.isnan(back.latency)
+
+
+def test_append_jsonl_seals_torn_tail(tmp_path):
+    from repro.util import append_jsonl, iter_jsonl
+
+    path = tmp_path / "log.jsonl"
+    append_jsonl(path, {"n": 1})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"torn')  # killed mid-append, no newline
+    append_jsonl(path, {"n": 2})
+    assert [d for d in iter_jsonl(path)] == [{"n": 1}, {"n": 2}]

@@ -107,3 +107,45 @@ def test_format_duration_negative():
 def test_format_duration_rounds():
     assert format_duration(59.4) == "59s"
     assert format_duration(59.6) == format_duration(60)
+
+
+# -- boundary behaviour (peak-hour/weekend edges, negative durations) ---------
+
+
+def test_peak_hours_edges_at_0900_and_1900():
+    # t=0 is Wednesday 00:00; the peak window is [09:00, 19:00).
+    wed = 0.0
+    assert not is_peak_hours(wed + 9 * HOUR - 1)
+    assert is_peak_hours(wed + 9 * HOUR)  # 09:00:00 sharp is peak
+    assert is_peak_hours(wed + 19 * HOUR - 1)
+    assert not is_peak_hours(wed + 19 * HOUR)  # 19:00:00 sharp is off-peak
+    assert hour_of_day(wed + 9 * HOUR) == 9.0
+
+
+def test_weekend_edges():
+    # epoch Wednesday -> Saturday starts 3 days in, Monday 5 days in.
+    saturday = 3 * DAY
+    assert not is_weekend(saturday - 1)  # Friday 23:59:59
+    assert is_weekend(saturday)  # Saturday 00:00:00
+    assert is_weekend(saturday + 2 * DAY - 1)  # Sunday 23:59:59
+    assert not is_weekend(saturday + 2 * DAY)  # Monday 00:00:00
+    assert day_of_week(saturday) == 5
+    assert day_of_week(5 * DAY) == 0
+
+
+def test_no_peak_hours_on_weekend():
+    saturday = 3 * DAY
+    assert not is_peak_hours(saturday + 10 * HOUR)
+    assert not is_peak_hours(saturday + DAY + 10 * HOUR)  # Sunday
+    assert is_peak_hours(saturday + 2 * DAY + 10 * HOUR)  # Monday
+
+
+def test_format_duration_negative_days_and_hms():
+    assert format_duration(-(2 * DAY + 3 * HOUR + 15 * MINUTE)) == "-2d 03:15:00"
+    assert format_duration(-(2 * HOUR + 30 * MINUTE)) == "-02:30:00"
+    assert format_duration(-0.4) == "0s"  # rounds to zero, no "-0s"
+
+
+def test_format_duration_minute_boundary():
+    assert format_duration(60) == "00:01:00"
+    assert format_duration(DAY) == "1d 00:00:00"
