@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Trace-driven workloads: record a run, replay it, stress it.
+
+The Poisson generator draws a fresh workload every seed; a *trace* pins
+the user workload down so two campaigns differ only where you want them
+to.  This example:
+
+1. records the workload of a tiny-smoke campaign to a trace file,
+2. replays it under the same scenario (identical contention, new seed),
+3. replays a bursty variant (2x arrival rate, 2x job volume) and compares
+   how the scheduler copes.
+
+Run:  python examples/trace_replay.py
+"""
+
+from pathlib import Path
+
+from repro import run_scenario, scenarios
+from repro.oar import TraceReplayConfig, load_trace, record_scenario, save_trace
+
+TRACE = Path("recorded_workload.jsonl")
+MONTHS = 0.12
+
+
+def main() -> None:
+    base = scenarios.get("tiny-smoke")
+
+    print("recording a tiny-smoke campaign's workload...")
+    trace = record_scenario(base, seed=0, months=MONTHS, name="example")
+    save_trace(trace, TRACE)
+    stats = trace.stats()
+    print(f"  {stats['jobs']} jobs over {stats['span_s'] / 86400:.1f} days "
+          f"-> {TRACE}")
+
+    replay = base.derive(name="replayed",
+                         workload=TraceReplayConfig(path=str(TRACE)))
+    bursty = base.derive(name="replayed-bursty",
+                         workload=TraceReplayConfig(path=str(TRACE),
+                                                    time_scale=0.5,
+                                                    load_scale=2.0))
+
+    for spec in (replay, bursty):
+        fw, report = run_scenario(spec, seed=7, months=MONTHS)
+        print(f"\n{spec.name}: replayed {fw.workload.submitted} jobs "
+              f"(trace has {len(load_trace(TRACE))})")
+        print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,8 @@ setup(
                 "Throughout Testing' (Nussbaum, REPPAR @ IPDPS 2017)",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro.oar": ["builtin_traces/*.jsonl"]},
+    include_package_data=True,
     python_requires=">=3.9",
     install_requires=["numpy"],
     entry_points={

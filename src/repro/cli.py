@@ -8,6 +8,10 @@ Examples::
     repro-campaign run paper-baseline --store results.jsonl --resume
     repro-campaign report results.jsonl
     repro-campaign compare results.jsonl --baseline paper-baseline
+    repro-campaign trace record tiny-smoke --out trace.jsonl --months 0.2
+    repro-campaign trace inspect trace.jsonl
+    repro-campaign trace convert archive.swf trace.jsonl
+    repro-campaign run tiny-smoke --trace trace.jsonl --seeds 0,1
     repro-campaign tiny-smoke --json > report.json   # legacy implicit "run"
 
 ``run --store`` appends every finished cell to a JSONL
@@ -30,10 +34,11 @@ from . import scenarios
 from .analysis.compare import compare_runs, format_comparison
 from .core.batch import CampaignRun, run_campaigns, summarize_runs
 from .core.store import CampaignStore
+from .oar.traces import TraceReplayConfig
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("run", "report", "compare")
+_SUBCOMMANDS = ("run", "report", "compare", "trace")
 
 
 def _parse_seeds(text: str) -> list[int]:
@@ -77,6 +82,40 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit the full reports as JSON on stdout")
     run_p.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress lines")
+    run_p.add_argument("--trace", default=None, metavar="PATH",
+                       help="replace every scenario's workload with a "
+                            "replay of this trace file (or builtin name)")
+    run_p.add_argument("--time-scale", type=float, default=1.0,
+                       help="with --trace: multiply submission timestamps "
+                            "(0.5 = twice the arrival rate)")
+    run_p.add_argument("--load-scale", type=float, default=1.0,
+                       help="with --trace: thin (<1) or duplicate (>1) "
+                            "the replayed jobs deterministically")
+
+    trace_p = sub.add_parser("trace",
+                             help="inspect, convert, and record workload "
+                                  "traces")
+    trace_sub = trace_p.add_subparsers(dest="trace_cmd")
+    ins_p = trace_sub.add_parser("inspect",
+                                 help="summarize a trace file")
+    ins_p.add_argument("trace", help="trace file (SWF or JSONL) or builtin "
+                                     "trace name")
+    ins_p.add_argument("--json", action="store_true",
+                       help="emit the stats as JSON on stdout")
+    conv_p = trace_sub.add_parser(
+        "convert", help="convert between SWF and the JSONL native format")
+    conv_p.add_argument("src", help="source trace (format by extension)")
+    conv_p.add_argument("dst", help="destination file (.swf writes SWF, "
+                                    "anything else JSONL)")
+    rec_p = trace_sub.add_parser(
+        "record", help="run a scenario and export its workload as a trace")
+    rec_p.add_argument("scenario", help="preset name to record")
+    rec_p.add_argument("--out", required=True, metavar="PATH",
+                       help="trace file to write (JSONL)")
+    rec_p.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's seed")
+    rec_p.add_argument("--months", type=float, default=None,
+                       help="override the scenario's horizon")
 
     report_p = sub.add_parser("report",
                               help="summarize an archived store")
@@ -120,6 +159,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and not args.store:
         print("error: --resume requires --store", file=sys.stderr)
         return 2
+    specs: list = list(args.scenario)
+    if args.trace is None:
+        if args.time_scale != 1.0 or args.load_scale != 1.0:
+            print("error: --time-scale/--load-scale require --trace",
+                  file=sys.stderr)
+            return 2
+    else:
+        try:
+            replay = TraceReplayConfig(path=args.trace,
+                                       time_scale=args.time_scale,
+                                       load_scale=args.load_scale)
+            specs = [scenarios.get(name).derive(name=f"{name}@trace",
+                                                workload=replay)
+                     for name in specs]
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
     store = None
     if args.store:
         if os.path.exists(args.store):
@@ -128,7 +184,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 return 2
         else:
             store = args.store  # fresh store: run_campaigns creates it
-    total = len(args.scenario) * len(args.seeds)
+    total = len(specs) * len(args.seeds)
     done = [0]
     t0 = time.perf_counter()
 
@@ -142,7 +198,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{status} ({time.perf_counter() - t0:.1f}s)", file=sys.stderr)
 
     try:
-        runs = run_campaigns(args.scenario, seeds=args.seeds,
+        runs = run_campaigns(specs, seeds=args.seeds,
                              workers=args.workers, months=args.months,
                              store=store, resume=args.resume,
                              on_cell=progress)
@@ -223,6 +279,78 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_cmd == "inspect":
+        return _cmd_trace_inspect(args)
+    if args.trace_cmd == "convert":
+        return _cmd_trace_convert(args)
+    if args.trace_cmd == "record":
+        return _cmd_trace_record(args)
+    print("error: trace needs a subcommand (inspect | convert | record)",
+          file=sys.stderr)
+    return 2
+
+
+def _load_trace_cli(path: str):
+    from .oar.traces import load_trace
+    from .util.errors import ParseError
+    try:
+        return load_trace(path)
+    except (OSError, ParseError, TypeError, ValueError) as exc:
+        print(f"error: cannot load trace {path!r}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_trace_inspect(args: argparse.Namespace) -> int:
+    trace = _load_trace_cli(args.trace)
+    if trace is None:
+        return 2
+    stats = trace.stats()
+    if args.json:
+        print(json.dumps(stats, sort_keys=True, indent=2))
+        return 0
+    print(f"trace {trace.name or args.trace}: {stats['jobs']} jobs")
+    if stats["jobs"]:
+        day = 86_400.0
+        print(f"  span: {stats['span_s'] / day:.2f} days "
+              f"(mean inter-arrival {stats['mean_interarrival_s']:.0f}s)")
+        print(f"  job size: {stats['nodes_min']}-{stats['nodes_max']} nodes "
+              f"(mean {stats['nodes_mean']:.1f})")
+        print(f"  demand: {stats['node_seconds'] / 3600.0:.0f} node-hours")
+        clusters = ", ".join(stats["clusters"]) or "(none pinned)"
+        print(f"  clusters: {clusters}")
+        print(f"  users: {stats['users']}")
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from .oar.traces import save_trace, trace_to_swf
+    trace = _load_trace_cli(args.src)
+    if trace is None:
+        return 2
+    if args.dst.endswith(".swf"):
+        with open(args.dst, "w", encoding="utf-8") as fh:
+            fh.write(trace_to_swf(trace))
+    else:
+        save_trace(trace, args.dst)
+    print(f"wrote {len(trace)} jobs to {args.dst}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from .oar.traces import record_scenario, save_trace
+    try:
+        trace = record_scenario(args.scenario, seed=args.seed,
+                                months=args.months)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    save_trace(trace, args.out)
+    print(f"recorded {len(trace)} workload jobs from {args.scenario!r} "
+          f"to {args.out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _main(argv)
@@ -249,6 +377,8 @@ def _main(argv: Optional[Sequence[str]]) -> int:
         return _cmd_report(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "run":
         return _cmd_run(args)
     _build_parser().print_help()

@@ -39,6 +39,7 @@ from ..monitoring.probes import Ganglia, Kwapi
 from ..nodes.machine import MachinePark
 from ..oar.database import OarDatabase
 from ..oar.server import OarServer
+from ..oar.traces import TraceReplayConfig, TraceReplayGenerator
 from ..oar.workload import WorkloadGenerator
 from ..scenarios.spec import ScenarioSpec
 from ..scheduling.launcher import ExternalScheduler
@@ -150,11 +151,20 @@ def _build_testbed(b: FrameworkBuild) -> None:
 
 
 def _build_oar(b: FrameworkBuild) -> None:
-    """Resource manager + the synthetic user workload that contends with tests."""
+    """Resource manager + the user workload that contends with tests.
+
+    The spec's ``workload`` variant picks the source: a
+    :class:`WorkloadConfig` builds the synthetic Poisson generator, a
+    :class:`TraceReplayConfig` replays a recorded trace at its timestamps.
+    """
     b.oardb = OarDatabase(b.refapi, b.services)
     b.oar = OarServer(b.sim, b.oardb, b.machines)
-    b.workload = WorkloadGenerator(b.sim, b.oar, b.testbed, b.rngs,
-                                   b.spec.workload)
+    if isinstance(b.spec.workload, TraceReplayConfig):
+        b.workload = TraceReplayGenerator.from_config(
+            b.sim, b.oar, b.spec.workload, testbed=b.testbed)
+    else:
+        b.workload = WorkloadGenerator(b.sim, b.oar, b.testbed, b.rngs,
+                                       b.spec.workload)
 
 
 def _build_kadeploy(b: FrameworkBuild) -> None:

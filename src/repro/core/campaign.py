@@ -21,7 +21,7 @@ matrix over worker processes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -141,13 +141,16 @@ def run_scenario(
     months: Optional[float] = None,
     cluster_specs: Optional[Sequence[ClusterSpec]] = None,
     families: Optional[Sequence[CheckFamily]] = None,
+    on_built: Optional[Callable[[TestingFramework], None]] = None,
 ) -> tuple[TestingFramework, CampaignReport]:
     """Run one campaign described by ``spec``; returns the world + report.
 
     ``seed``/``months`` override the spec's values (the batch runner uses
     this to fan one preset across a seed matrix); ``cluster_specs`` and
     ``families`` are the non-declarative escape hatches forwarded to the
-    :class:`FrameworkBuilder`.
+    :class:`FrameworkBuilder`.  ``on_built`` fires with the wired world
+    right before it starts — the hook instrumentation (e.g. the workload
+    trace recorder) uses to observe a run from t=0.
     """
     overrides = {}
     if seed is not None:
@@ -162,6 +165,8 @@ def run_scenario(
     if families is not None:
         builder.with_families(families)
     fw = builder.build()
+    if on_built is not None:
+        on_built(fw)
     # February's backlog: the testbed is already unhealthy when testing starts.
     for _ in range(spec.backlog_faults):
         fw.injector.inject()

@@ -30,7 +30,7 @@ from ..monitoring.probes import Ganglia, Kwapi
 from ..nodes.machine import MachinePark, PowerState
 from ..oar.database import OarDatabase
 from ..oar.server import OarServer
-from ..oar.workload import WorkloadConfig, WorkloadGenerator
+from ..oar.workload import WorkloadConfig, WorkloadSource
 from ..scenarios.spec import ScenarioSpec
 from ..scheduling.launcher import ExternalScheduler
 from ..scheduling.policies import SchedulerPolicy
@@ -65,7 +65,7 @@ class TestingFramework:
     services: ServiceHealth
     oardb: OarDatabase
     oar: OarServer
-    workload: WorkloadGenerator
+    workload: WorkloadSource
     kadeploy: Kadeploy
     kavlan: KavlanManager
     kwapi: Kwapi

@@ -16,7 +16,18 @@ from .request import (
     parse_request,
 )
 from .server import OarServer
-from .workload import WorkloadConfig, WorkloadGenerator
+from .traces import (
+    TraceRecord,
+    TraceRecorder,
+    TraceReplayConfig,
+    TraceReplayGenerator,
+    WorkloadTrace,
+    load_trace,
+    parse_swf,
+    record_scenario,
+    save_trace,
+)
+from .workload import WorkloadConfig, WorkloadGenerator, WorkloadSource
 
 __all__ = [
     "ALL_NODES",
@@ -37,6 +48,16 @@ __all__ = [
     "Job",
     "JobState",
     "OarServer",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayConfig",
+    "TraceReplayGenerator",
+    "WorkloadTrace",
+    "load_trace",
+    "parse_swf",
+    "record_scenario",
+    "save_trace",
     "WorkloadConfig",
     "WorkloadGenerator",
+    "WorkloadSource",
 ]

@@ -24,6 +24,7 @@ Node states follow OAR vocabulary: **Alive** (usable), **Absent**
 
 from __future__ import annotations
 
+import bisect
 from typing import Optional, Union
 
 from ..nodes.machine import MachinePark, PowerState
@@ -260,7 +261,9 @@ class OarServer:
             ]
             if not replanned:
                 return
-            self._scheduled = [j for j in self._scheduled if j not in set(replanned)]
+            replanned_set = set(replanned)
+            self._scheduled = [j for j in self._scheduled
+                               if j not in replanned_set]
         else:
             replanned = self._scheduled
             self._scheduled = []
@@ -293,7 +296,13 @@ class OarServer:
                 job.done_event.succeed(job)
             else:
                 job.state = JobState.WAITING
-                self._waiting.append(job)
+                # Re-queue in job-id order: appending to the tail would rank
+                # this job behind later-submitted waiters until the next
+                # replan re-sort, breaking conservative backfilling's FCFS
+                # fairness.  _waiting is kept sorted by job_id (submission
+                # order), so a bisect insert preserves the invariant.
+                ids = [j.job_id for j in self._waiting]
+                self._waiting.insert(bisect.bisect(ids, job.job_id), job)
                 self._schedule_pass()
             return
         job.state = JobState.RUNNING

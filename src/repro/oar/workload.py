@@ -9,21 +9,29 @@ Calibration: ``target_utilization`` sets the mean requested load as a
 fraction of total node capacity; the default 0.7 makes single-node jobs
 start immediately most of the time while whole-cluster requests wait for
 a long time — the regime the paper describes.
+
+:class:`WorkloadSource` is the interface every workload backend satisfies
+(this Poisson generator, the trace replay in :mod:`repro.oar.traces`):
+``start()``/``stop()`` manage the submission process, ``submitted`` counts
+jobs, and ``on_submit`` callbacks observe every submitted job (that is how
+the trace recorder exports a run).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..testbed.description import TestbedDescription
-from ..util.events import Simulator
+from ..util.events import Process, Simulator
 from ..util.rng import RngStreams
 from ..util.simclock import HOUR, is_peak_hours, is_weekend
+from .jobs import Job
 from .server import OarServer
 
-__all__ = ["WorkloadConfig", "WorkloadGenerator"]
+__all__ = ["WorkloadConfig", "WorkloadSource", "WorkloadGenerator"]
 
 #: (node count, probability) — long tail of small jobs, occasional wide ones.
 _SIZE_MIX: tuple[tuple[int, float], ...] = (
@@ -46,7 +54,47 @@ class WorkloadConfig:
     weekend_factor: float = 0.35
 
 
-class WorkloadGenerator:
+class WorkloadSource:
+    """Base class for processes feeding user jobs to an :class:`OarServer`.
+
+    Subclasses implement :meth:`_run` (a generator submitting jobs on its
+    own schedule) and call :meth:`_notify_submitted` for every job.
+    """
+
+    process_name = "workload"
+
+    def __init__(self, sim: Simulator, oar: OarServer):
+        self.sim = sim
+        self.oar = oar
+        self.submitted = 0
+        #: Observers fired with every submitted :class:`Job` (trace recorder).
+        self.on_submit: list[Callable[[Job], None]] = []
+        self._running = False
+        self._proc: Optional[Process] = None
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self._proc = self.sim.process(self._run(), name=self.process_name)
+
+    def stop(self) -> None:
+        """Stop promptly: interrupt the pending inter-arrival sleep instead
+        of leaving the process asleep until its next timeout fires (which
+        could be a full inter-arrival draw after campaign end)."""
+        self._running = False
+        if self._proc is not None and self._proc.alive:
+            self._proc.interrupt("stopped")
+        self._proc = None
+
+    def _run(self):
+        raise NotImplementedError
+
+    def _notify_submitted(self, job: Job) -> None:
+        for callback in self.on_submit:
+            callback(job)
+
+
+class WorkloadGenerator(WorkloadSource):
     """Poisson job-arrival process feeding an :class:`OarServer`."""
 
     def __init__(
@@ -57,8 +105,7 @@ class WorkloadGenerator:
         rng_streams: RngStreams,
         config: WorkloadConfig = WorkloadConfig(),
     ):
-        self.sim = sim
-        self.oar = oar
+        super().__init__(sim, oar)
         self.config = config
         self._rng = rng_streams.stream("workload")
         self._clusters = [c.uid for c in testbed.iter_clusters()]
@@ -70,8 +117,6 @@ class WorkloadGenerator:
         self._sizes = np.array([s for s, _ in _SIZE_MIX])
         self._size_probs = np.array([p for _, p in _SIZE_MIX])
         self._mean_interarrival_s = self._calibrate()
-        self.submitted = 0
-        self._running = False
 
     def _calibrate(self) -> float:
         """Mean inter-arrival so that requested node-time matches target."""
@@ -88,14 +133,6 @@ class WorkloadGenerator:
         if is_weekend(t):
             return self.config.weekend_factor
         return self.config.peak_factor if is_peak_hours(t) else self.config.offpeak_factor
-
-    def start(self) -> None:
-        if not self._running:
-            self._running = True
-            self.sim.process(self._run(), name="workload")
-
-    def stop(self) -> None:
-        self._running = False
 
     def _run(self):
         # Thinning-free approximation: scale the exponential inter-arrival
@@ -124,8 +161,10 @@ class WorkloadGenerator:
         duration = walltime * float(self._rng.uniform(0.3, 1.0))
         request = f"cluster='{cluster}'/nodes={size},walltime={_fmt(walltime)}"
         self.submitted += 1
-        return self.oar.submit(request, user=f"user{self.submitted % 550}",
-                               auto_duration=duration)
+        job = self.oar.submit(request, user=f"user{self.submitted % 550}",
+                              auto_duration=duration)
+        self._notify_submitted(job)
+        return job
 
 
 def _fmt(seconds: float) -> str:

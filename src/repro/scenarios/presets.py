@@ -12,6 +12,7 @@ to scenarios by these names instead of re-typing kwargs.
 
 from __future__ import annotations
 
+from ..oar.traces import TraceReplayConfig
 from ..oar.workload import WorkloadConfig
 from ..scheduling.policies import SchedulerPolicy
 from ..util.simclock import DAY, HOUR
@@ -108,6 +109,26 @@ register(ScenarioSpec(
     backlog_faults=8,
     fault_mean_interarrival_s=1.0 * DAY,
     workload=WorkloadConfig(target_utilization=0.3),
+))
+
+#: Trace-driven contention: instead of a fresh Poisson draw, replay the
+#: bundled ``tiny-g5k`` trace (a recorded tiny-smoke run) at its recorded
+#: timestamps — the same user workload every run, any seed.
+register(get("tiny-smoke").derive(
+    name="trace-replay",
+    description="Replay the bundled tiny-g5k workload trace at its "
+                "recorded timestamps (reproducible contention).",
+    workload=TraceReplayConfig(path="tiny-g5k"),
+))
+
+#: The same trace squeezed into half the time and doubled in volume: a
+#: burst regime no Poisson calibration produces.
+register(get("trace-replay").derive(
+    name="bursty-replay",
+    description="tiny-g5k trace at 2x arrival rate and 2x job volume: "
+                "bursty overload the Poisson generator cannot express.",
+    workload=TraceReplayConfig(path="tiny-g5k", time_scale=0.5,
+                               load_scale=2.0),
 ))
 
 #: Heavily-used testbed with aggressive re-test cadence: maximum

@@ -17,10 +17,11 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 from ..checksuite.base import CheckFamily
 from ..checksuite.registry import ALL_FAMILIES, family_by_name
+from ..oar.traces import TraceReplayConfig
 from ..oar.workload import WorkloadConfig
 from ..scheduling.policies import SchedulerPolicy
 from ..testbed.generator import CLUSTER_SPECS, ClusterSpec
@@ -60,7 +61,11 @@ class ScenarioSpec:
     backlog_faults: int = 50
     fault_mean_interarrival_s: float = 2.2 * DAY
     policy: SchedulerPolicy = field(default_factory=SchedulerPolicy)
-    workload: WorkloadConfig = field(
+    #: Workload variant: a :class:`WorkloadConfig` selects the synthetic
+    #: Poisson generator, a :class:`~repro.oar.traces.TraceReplayConfig`
+    #: replays a recorded trace file at its timestamps.  Both are frozen
+    #: data, so the JSON codec dispatches on the document's fields.
+    workload: Union[WorkloadConfig, TraceReplayConfig] = field(
         default_factory=lambda: WorkloadConfig(target_utilization=0.6))
     operator_speedup: float = 1.0
     #: A2 ablation: with the framework off, nothing detects or fixes faults.

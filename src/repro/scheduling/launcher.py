@@ -96,6 +96,7 @@ class ExternalScheduler:
                     backoff=Backoff(policy),
                 ))
         self._running = False
+        self._proc = None
 
     # -- testbed status queries ----------------------------------------------
 
@@ -128,10 +129,15 @@ class ExternalScheduler:
     def start(self) -> None:
         if not self._running:
             self._running = True
-            self.sim.process(self._run(), name="external-scheduler")
+            self._proc = self.sim.process(self._run(), name="external-scheduler")
 
     def stop(self) -> None:
+        """Stop promptly: interrupt the tick sleep instead of letting the
+        process linger until its next timeout fires."""
         self._running = False
+        if self._proc is not None and self._proc.alive:
+            self._proc.interrupt("stopped")
+        self._proc = None
 
     def _run(self):
         while self._running:

@@ -142,8 +142,11 @@ class Timeout(Event):
 class AnyOf(Event):
     """Triggers when the first of ``events`` triggers.
 
-    ``value`` is a dict mapping the already-triggered events to their values
-    at the instant of first trigger.
+    ``value`` is a dict mapping the already-successful events to their
+    values at the instant of first trigger.  A child that *fails* first
+    fails the combinator with its exception — burying the failure inside
+    the value dict would silently swallow it, since waiters only get
+    exceptions thrown into them via :meth:`Event.fail`.
     """
 
     __slots__ = ("events",)
@@ -156,15 +159,22 @@ class AnyOf(Event):
         for ev in self.events:
             ev.add_callback(self._on_child)
 
-    def _on_child(self, _child: Event) -> None:
-        if not self.triggered:
-            self.succeed({e: e.value for e in self.events if e.triggered})
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self.succeed({e: e.value for e in self.events if e.triggered and e.ok})
 
 
 class AllOf(Event):
     """Triggers when all of ``events`` have triggered.
 
-    ``value`` is a dict mapping each event to its value.
+    ``value`` is a dict mapping each event to its value.  The first child
+    failure fails the combinator immediately (the exception propagates to
+    waiters instead of hiding in the value dict); later child triggers are
+    then ignored.
     """
 
     __slots__ = ("events", "_remaining")
@@ -178,9 +188,14 @@ class AllOf(Event):
         for ev in self.events:
             ev.add_callback(self._on_child)
 
-    def _on_child(self, _child: Event) -> None:
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
         self._remaining -= 1
-        if self._remaining == 0 and not self.triggered:
+        if self._remaining == 0:
             self.succeed({e: e.value for e in self.events})
 
 

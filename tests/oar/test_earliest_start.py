@@ -91,3 +91,25 @@ def test_earliest_start_rejects_bad_duration():
     g = Gantt(_NODES)
     with pytest.raises(SchedulingError):
         g.earliest_start(_NODES, 0.0, 0.0, 1)
+
+
+def test_earliest_start_exact_fit_window_tie():
+    """A window exactly as long as the duration hosts exactly one start:
+    the +1 and -1 sweep events share a coordinate, and the +1 must be
+    counted first (kind 0 sorts before kind 1) or the only feasible start
+    is missed."""
+    g = Gantt(["n1"])
+    g.timeline("n1").add(Reservation(10.0, 20.0, 1))
+    # free window [0, 10) fits a 10s job only if it starts exactly at 0
+    assert g.earliest_start(["n1"], 0.0, 10.0, 1) == 0.0
+
+
+def test_earliest_start_equal_coordinate_handover_tie():
+    """One node's last feasible start coincides with another node's first:
+    at that shared coordinate both must count simultaneously."""
+    g = Gantt(["n1", "n2"])
+    g.timeline("n1").add(Reservation(10.0, 20.0, 1))   # n1 hosts in [0, 5]
+    g.timeline("n2").add(Reservation(0.0, 5.0, 2))     # n2 hosts from 5 on
+    # duration 5, k=2: only t=5 sees both nodes free over [5, 10)
+    assert g.earliest_start(["n1", "n2"], 0.0, 5.0, 2) == 5.0
+    assert g.is_free("n1", 5.0, 10.0) and g.is_free("n2", 5.0, 10.0)

@@ -96,6 +96,36 @@ def test_backfilling_small_job_slips_ahead(world):
     assert wide.wait_time_s == pytest.approx(HOUR)
 
 
+def test_requeue_after_node_death_preserves_fcfs_order(world):
+    """A job whose reserved node dies re-enters the queue at its job-id
+    rank, not behind later-submitted waiters (conservative backfilling's
+    FCFS fairness)."""
+    sim, oar, park, testbed = world
+    n_grim = testbed.cluster("grimoire").node_count
+    n_grao = testbed.cluster("graoully").node_count
+    # One graoully node is down, so whole-graoully requests wait forever.
+    park[f"graoully-{n_grao}"].crash()
+    blocker = oar.submit(f"cluster='grimoire'/nodes={n_grim},walltime=10",
+                         auto_duration=10 * HOUR)                      # id 1
+    victim = oar.submit(f"cluster='grimoire'/nodes={n_grim},walltime=1",
+                        auto_duration=HOUR)                            # id 2
+    waiter_a = oar.submit(f"cluster='graoully'/nodes={n_grao},walltime=1")  # id 3
+    waiter_b = oar.submit(f"cluster='graoully'/nodes={n_grao},walltime=1")  # id 4
+    sim.run(until=1.0)
+    assert blocker.state == JobState.RUNNING
+    assert victim.state == JobState.SCHEDULED
+    assert [j.job_id for j in oar._waiting] == [3, 4]
+    # One of the victim's reserved nodes dies an hour before its start.
+    sim.call_at(9 * HOUR, park[victim.assigned_nodes[0]].crash)
+    sim.run(until=10 * HOUR + 60.0)
+    # The victim is back to WAITING (7 alive nodes < the 8 it needs) and
+    # slotted *ahead* of the later-submitted waiters, not appended.
+    assert victim.state == JobState.WAITING
+    assert [j.job_id for j in oar._waiting] == [2, 3, 4]
+    assert waiter_a.state == JobState.WAITING
+    assert waiter_b.state == JobState.WAITING
+
+
 def test_nodes_all_takes_whole_cluster(world):
     sim, oar, _, testbed = world
     job = oar.submit("cluster='graoully'/nodes=ALL,walltime=1", auto_duration=600.0)

@@ -81,7 +81,21 @@ def test_stop_halts_arrivals():
     count = gen.submitted
     gen.stop()
     sim.run(until=2 * DAY)
-    assert gen.submitted <= count + 1
+    # prompt shutdown: not even one more job sneaks out of the pending draw
+    assert gen.submitted == count
+
+
+def test_stop_kills_the_process_immediately():
+    sim, oar, gen, _ = make_world()
+    gen.start()
+    sim.run(until=6 * HOUR)
+    proc = gen._proc
+    assert proc is not None and proc.alive
+    gen.stop()
+    sim.run(until=sim.now)  # only the zero-delay interrupt runs
+    assert not proc.alive
+    gen.start()  # restartable after a prompt stop
+    assert gen._proc is not None and gen._proc.alive
 
 
 def test_most_small_jobs_start_quickly():

@@ -15,12 +15,14 @@ EXPECTED_PRESETS = {
     "double-scale",
     "tiny-smoke",
     "high-churn",
+    "trace-replay",
+    "bursty-replay",
 }
 
 
 def test_library_ships_expected_presets():
     assert EXPECTED_PRESETS <= set(scenarios.names())
-    assert len(scenarios.names()) >= 8
+    assert len(scenarios.names()) >= 10
 
 
 def test_get_returns_spec():

@@ -40,6 +40,20 @@ def test_scheduler_launches_builds():
     assert all(r.status == "SUCCESS" for r in fw.history.records)
 
 
+def test_stop_interrupts_tick_sleep_promptly():
+    fw = make_world()
+    fw.scheduler.start()
+    fw.sim.run(until=10 * 60.0)
+    proc = fw.scheduler._proc
+    assert proc is not None and proc.alive
+    fw.scheduler.stop()
+    fw.sim.run(until=fw.sim.now)  # only the zero-delay interrupt runs
+    assert not proc.alive
+    # restartable after a prompt stop
+    fw.scheduler.start()
+    assert fw.scheduler._proc is not None and fw.scheduler._proc.alive
+
+
 def test_cadence_respected():
     fw = make_world(families=("oarstate",),
                     policy=SchedulerPolicy(software_period_s=DAY))

@@ -173,3 +173,86 @@ def test_compare_unknown_baseline(tmp_path, capsys):
     code, _, err = run_cli(capsys, "compare", store, "--baseline", "nope")
     assert code == 2
     assert "nope" in err
+
+
+def test_trace_record_inspect_convert_roundtrip(tmp_path, capsys):
+    trace_path = str(tmp_path / "rec.jsonl")
+    code, _, err = run_cli(capsys, "trace", "record", "tiny-smoke",
+                           "--out", trace_path, "--seed", "1",
+                           "--months", "0.05")
+    assert code == 0
+    assert "recorded" in err
+
+    code, out, _ = run_cli(capsys, "trace", "inspect", trace_path)
+    assert code == 0
+    assert "jobs" in out
+
+    code, out, _ = run_cli(capsys, "trace", "inspect", trace_path, "--json")
+    assert code == 0
+    stats = json.loads(out)
+    assert stats["jobs"] > 0
+
+    swf_path = str(tmp_path / "rec.swf")
+    code, _, err = run_cli(capsys, "trace", "convert", trace_path, swf_path)
+    assert code == 0
+    code, out, _ = run_cli(capsys, "trace", "inspect", swf_path, "--json")
+    assert code == 0
+    assert json.loads(out)["jobs"] == stats["jobs"]
+
+
+def test_trace_inspect_builtin_name(capsys):
+    code, out, _ = run_cli(capsys, "trace", "inspect", "tiny-g5k")
+    assert code == 0
+    assert "308 jobs" in out
+
+
+def test_trace_inspect_missing_file(capsys):
+    code, _, err = run_cli(capsys, "trace", "inspect", "missing.jsonl")
+    assert code == 2
+    assert "cannot load trace" in err
+
+
+def test_trace_record_unknown_preset(tmp_path, capsys):
+    code, _, err = run_cli(capsys, "trace", "record", "nope",
+                           "--out", str(tmp_path / "t.jsonl"))
+    assert code == 2
+    assert "nope" in err
+
+
+def test_run_with_trace_override(tmp_path, capsys):
+    trace_path = str(tmp_path / "rec.jsonl")
+    run_cli(capsys, "trace", "record", "tiny-smoke", "--out", trace_path,
+            "--months", "0.05")
+    code, out, _ = run_cli(capsys, "run", "tiny-smoke", "--trace", trace_path,
+                           "--months", "0.05", "--seeds", "0", "--quiet")
+    assert code == 0
+    assert "tiny-smoke@trace" in out
+
+
+def test_trace_inspect_incomplete_record_fails_cleanly(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"nodes": 1, "walltime_s": 5}\n', encoding="utf-8")
+    code, _, err = run_cli(capsys, "trace", "inspect", str(bad))
+    assert code == 2
+    assert "cannot load trace" in err and "submit_s" in err
+
+
+def test_run_trace_bad_scale_fails_cleanly(capsys):
+    code, _, err = run_cli(capsys, "run", "tiny-smoke", "--trace", "tiny-g5k",
+                           "--time-scale", "0", *SMOKE)
+    assert code == 2
+    assert "time_scale must be positive" in err
+
+
+def test_run_scale_flags_require_trace(capsys):
+    code, _, err = run_cli(capsys, "run", "tiny-smoke",
+                           "--load-scale", "2", *SMOKE)
+    assert code == 2
+    assert "--trace" in err
+
+
+def test_run_trace_preset_end_to_end(capsys):
+    code, out, _ = run_cli(capsys, "run", "trace-replay",
+                           "--months", "0.1", "--seeds", "0", "--quiet")
+    assert code == 0
+    assert "trace-replay" in out

@@ -183,6 +183,98 @@ def test_all_of_waits_for_every_event():
     assert times == [9.0]
 
 
+def test_any_of_child_failure_raises_in_waiter():
+    sim = Simulator()
+    bad = sim.event()
+    caught = []
+
+    def proc():
+        try:
+            yield sim.any_of([bad, sim.timeout(2.0)])
+        except RuntimeError as exc:
+            caught.append((sim.now, str(exc)))
+
+    sim.process(proc())
+    sim.call_in(1.0, bad.fail, RuntimeError("child died"))
+    sim.run()
+    assert caught == [(1.0, "child died")]
+
+
+def test_any_of_success_value_excludes_failed_children():
+    sim = Simulator()
+    ok = sim.event()
+    bad = sim.event()
+    results = []
+
+    def proc():
+        value = yield sim.any_of([ok, bad])
+        results.append(dict(value))
+
+    sim.process(proc())
+    # Both trigger at t=1; the success lands first, so AnyOf succeeds —
+    # but the failed sibling must not leak its exception into the dict.
+    sim.call_in(1.0, ok.succeed, "fine")
+    sim.call_in(1.0, bad.fail, RuntimeError("too late to matter"))
+    sim.run()
+    assert results == [{ok: "fine"}]
+
+
+def test_all_of_first_failure_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def proc():
+        try:
+            yield sim.all_of([sim.timeout(1.0), ev, sim.timeout(9.0)])
+        except ValueError as exc:
+            caught.append((sim.now, str(exc)))
+
+    sim.process(proc())
+    sim.call_in(3.0, ev.fail, ValueError("phase exploded"))
+    sim.run()
+    # Fails at the child's failure time, without waiting for the slow child.
+    assert caught == [(3.0, "phase exploded")]
+
+
+def test_all_of_ignores_children_after_failure():
+    sim = Simulator()
+    bad1 = sim.event()
+    bad2 = sim.event()
+    caught = []
+
+    def proc():
+        try:
+            yield sim.all_of([bad1, bad2, sim.timeout(5.0)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(proc())
+    sim.call_in(1.0, bad1.fail, RuntimeError("first"))
+    sim.call_in(2.0, bad2.fail, RuntimeError("second"))
+    sim.run()  # the second failure must not re-trigger the combinator
+    assert caught == ["first"]
+
+
+def test_all_of_failure_then_completion_is_quiet():
+    sim = Simulator()
+    ev = sim.event()
+    combo_holder = []
+
+    def proc():
+        combo = sim.all_of([ev, sim.timeout(1.0)])
+        combo_holder.append(combo)
+        try:
+            yield combo
+        except RuntimeError:
+            pass
+
+    sim.process(proc())
+    sim.call_in(0.5, ev.fail, RuntimeError("early"))
+    sim.run()  # the timeout still triggers at t=1 into the failed combinator
+    assert combo_holder[0].triggered and not combo_holder[0].ok
+
+
 def test_interrupt_wakes_waiting_process():
     sim = Simulator()
     trace = []
