@@ -1,0 +1,128 @@
+"""K1 — event-kernel throughput: the per-event overhead ceiling.
+
+Everything in the reproduction (OAR, Kadeploy, the CI server, the fault
+injector, the probes) is a process on the hand-rolled event kernel, so its
+per-event cost bounds campaign throughput.  Two workloads:
+
+* **micro** — raw callback churn: self-rescheduling ``call_in`` chains,
+  measuring heap push/pop + dispatch with no process machinery;
+* **macro** — timeout-heavy process churn: generator processes doing
+  ``yield sim.timeout(d)`` in a loop — the dominant pattern across the
+  whole codebase, and the one the kernel fast path targets;
+* **watchdog** — the any_of(work, timeout) + cancel pattern the CI server
+  uses: measures that abandoned watchdog timers are lazily cancelled
+  instead of living in the heap until they fire.
+
+Numbers land in ``benchmarks/results/BENCH_k1_kernel.json`` next to the
+frozen pre-fast-path throughput measured on the same machine immediately
+before the kernel overhaul, so the speedup is recorded alongside the
+current reading.  The CI perf-smoke job compares a fresh run against the
+committed JSON via ``benchmarks/perf.py`` (30 % tolerance).
+"""
+
+import time
+
+from repro.util.events import Simulator
+
+from conftest import paper_row, print_table
+from perf import write_results
+
+#: Throughput of the pre-PR kernel (same machine, same workloads, median
+#: of 3), measured right before the timeout fast path landed.  The
+#: acceptance bar for the overhaul was >= 2x on the macro number.
+_PRE_PR = {
+    "callback_events_per_s": 1_074_947.0,
+    "timeout_events_per_s": 352_639.0,
+}
+
+
+def _bench_callbacks(chains: int = 64, hops: int = 4000) -> float:
+    """Micro: heap + dispatch cost of bare rescheduling callbacks."""
+    sim = Simulator()
+    remaining = [hops] * chains
+
+    def tick(i: int) -> None:
+        remaining[i] -= 1
+        if remaining[i]:
+            sim.call_in(1.0, tick, i)
+
+    for i in range(chains):
+        sim.call_in(1.0, tick, i)
+    t0 = time.perf_counter()
+    sim.run()
+    return chains * hops / (time.perf_counter() - t0)
+
+
+def _bench_timeouts(procs: int = 256, rounds: int = 1000) -> float:
+    """Macro: the dominant ``yield sim.timeout(delay)`` pattern."""
+    sim = Simulator()
+
+    def churn(delay: float):
+        for _ in range(rounds):
+            yield sim.timeout(delay)
+
+    for i in range(procs):
+        sim.process(churn(float((i % 7) + 1) * 0.5))
+    t0 = time.perf_counter()
+    sim.run()
+    return procs * rounds / (time.perf_counter() - t0)
+
+
+def _bench_watchdogs(rounds: int = 20_000) -> tuple[float, int]:
+    """CI-server shape: fast work raced against a long watchdog timeout
+    that is cancelled once the work wins.  Returns (events/s, peak heap
+    size) — with lazy cancellation the heap stays flat instead of
+    accumulating one dead hour-long timer per round."""
+    sim = Simulator()
+    peak = 0
+
+    def loop():
+        nonlocal peak
+        for _ in range(rounds):
+            work = sim.timeout(1.0, "done")
+            watchdog = sim.timeout(3600.0, "timeout")
+            yield sim.any_of([work, watchdog])
+            watchdog.cancel()
+            peak = max(peak, len(sim._heap))
+
+    sim.process(loop())
+    t0 = time.perf_counter()
+    sim.run()
+    return rounds / (time.perf_counter() - t0), peak
+
+
+def bench_k1_kernel(benchmark):
+    callback_eps = benchmark.pedantic(_bench_callbacks, rounds=1, iterations=1)
+    timeout_eps = _bench_timeouts()
+    watchdog_rps, watchdog_peak_heap = _bench_watchdogs()
+
+    speedup = timeout_eps / _PRE_PR["timeout_events_per_s"]
+    rows = [
+        paper_row("micro: callback events/s", "-", f"{callback_eps:,.0f}"),
+        paper_row("macro: timeout yields/s", "-", f"{timeout_eps:,.0f}"),
+        paper_row("macro speedup vs pre-PR kernel", ">= 2x",
+                  f"{speedup:.2f}x"),
+        paper_row("watchdog rounds/s (any_of + cancel)", "-",
+                  f"{watchdog_rps:,.0f}"),
+        paper_row("watchdog peak heap entries", "flat (< 64)",
+                  watchdog_peak_heap),
+    ]
+    print_table("K1: event-kernel throughput", rows)
+
+    write_results("k1_kernel", {
+        "callback_events_per_s": round(callback_eps, 1),
+        "timeout_events_per_s": round(timeout_eps, 1),
+        "watchdog_rounds_per_s": round(watchdog_rps, 1),
+        "watchdog_peak_heap": watchdog_peak_heap,
+        "pre_pr_callback_events_per_s": _PRE_PR["callback_events_per_s"],
+        "pre_pr_timeout_events_per_s": _PRE_PR["timeout_events_per_s"],
+        "timeout_speedup_vs_pre_pr": round(speedup, 2),
+    })
+
+    # Absolute floors are deliberately far below any real machine — the
+    # committed-baseline comparison in CI (perf.py, 30 % tolerance) is the
+    # actual regression gate; these only catch a complexity-class slip.
+    assert callback_eps > 100_000
+    assert timeout_eps > 50_000
+    # Lazy cancellation: dead watchdogs must not pile up in the heap.
+    assert watchdog_peak_heap < 64

@@ -1,0 +1,140 @@
+"""Shared perf-regression helpers for the benchmark suite.
+
+Every ``bench_*`` writes its measurements to
+``benchmarks/results/BENCH_<id>.json``; those files are committed and act
+as the perf baseline.  This module is the one place that knows how to
+
+* load/write those result files (:func:`load_results`, :func:`write_results`);
+* compare a fresh run against the committed baseline with a throughput
+  tolerance (:func:`compare`), and
+* do the same from the command line (the CI perf-smoke job)::
+
+      python benchmarks/perf.py compare fresh/BENCH_k1_kernel.json \\
+          --baseline benchmarks/results/BENCH_k1_kernel.json \\
+          --metric timeout_events_per_s --metric callback_events_per_s \\
+          --min-ratio 0.7
+
+  Exit status 1 means at least one metric regressed below
+  ``min_ratio * baseline`` (30 % tolerance by default — wide enough for
+  runner-to-runner hardware noise, tight enough to catch a hot path
+  regressing to a slower complexity class).
+
+Updating a baseline is deliberate and manual: re-run the bench on a quiet
+machine and commit the refreshed ``benchmarks/results/BENCH_<id>.json``
+(see README "Performance").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["results_path", "load_results", "write_results",
+           "MetricComparison", "compare", "format_comparison"]
+
+_RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "results")
+
+#: Default tolerated throughput ratio (current / baseline) before a
+#: higher-is-better metric counts as regressed.
+DEFAULT_MIN_RATIO = 0.7
+
+
+def results_path(bench_id: str) -> str:
+    """Canonical committed location of one bench's result file."""
+    return os.path.join(_RESULTS_DIR, f"BENCH_{bench_id}.json")
+
+
+def load_results(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_results(bench_id: str, metrics: Mapping[str, object],
+                  outcome: str = "passed",
+                  path: Optional[str] = None) -> str:
+    """Write one bench's result JSON (stable key order, trailing newline)."""
+    path = path if path is not None else results_path(bench_id)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"id": bench_id, "metrics": dict(metrics),
+                   "outcome": outcome}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    metric: str
+    current: float
+    baseline: float
+    ratio: float
+
+    def ok(self, min_ratio: float = DEFAULT_MIN_RATIO) -> bool:
+        return self.ratio >= min_ratio
+
+
+def compare(current: Mapping, baseline: Mapping,
+            metrics: Sequence[str]) -> list[MetricComparison]:
+    """Compare higher-is-better throughput metrics of two result docs.
+
+    ``current``/``baseline`` are result documents (``{"metrics": {...}}``)
+    or bare metric mappings.  A metric missing on either side raises
+    ``KeyError`` — a silently skipped gate is worse than a loud one.
+    """
+    cur = current.get("metrics", current)
+    base = baseline.get("metrics", baseline)
+    out = []
+    for name in metrics:
+        c = float(cur[name])
+        b = float(base[name])
+        ratio = c / b if b > 0 else float("inf")
+        out.append(MetricComparison(name, c, b, ratio))
+    return out
+
+
+def format_comparison(rows: Sequence[MetricComparison],
+                      min_ratio: float = DEFAULT_MIN_RATIO) -> str:
+    lines = []
+    for row in rows:
+        verdict = "ok" if row.ok(min_ratio) else "REGRESSED"
+        lines.append(
+            f"  {row.metric:<28} {row.current:>12.1f} vs baseline "
+            f"{row.baseline:>12.1f}  ({row.ratio:5.2f}x, floor "
+            f"{min_ratio:.2f}x) {verdict}")
+    return "\n".join(lines)
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare a fresh bench result against a committed "
+                    "perf baseline.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    cmp_p = sub.add_parser("compare", help="fail on throughput regression")
+    cmp_p.add_argument("current", help="fresh BENCH_*.json")
+    cmp_p.add_argument("--baseline", required=True,
+                       help="committed BENCH_*.json to compare against")
+    cmp_p.add_argument("--metric", action="append", required=True,
+                       dest="metrics",
+                       help="higher-is-better metric name (repeatable)")
+    cmp_p.add_argument("--min-ratio", type=float, default=DEFAULT_MIN_RATIO,
+                       help="minimum tolerated current/baseline ratio "
+                            "(default %(default)s)")
+    args = parser.parse_args(argv)
+
+    rows = compare(load_results(args.current), load_results(args.baseline),
+                   args.metrics)
+    print(format_comparison(rows, args.min_ratio))
+    if all(row.ok(args.min_ratio) for row in rows):
+        print("perf gate: ok")
+        return 0
+    print("perf gate: REGRESSION (see rows above)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

@@ -93,11 +93,13 @@ class JenkinsServer:
         build.started_at = self.sim.now
         build.log_line(self.sim.now, f"started on executor (cause: {build.cause})")
         runner_proc = self.sim.process(job.runner(build))
+        watchdog = self.sim.timeout(job.timeout_s, "timeout")
         try:
-            outcome = yield self.sim.any_of(
-                [runner_proc, self.sim.timeout(job.timeout_s, "timeout")]
-            )
+            outcome = yield self.sim.any_of([runner_proc, watchdog])
             if runner_proc.triggered and runner_proc in outcome:
+                # The runner won the race: lazily drop the watchdog's heap
+                # entry instead of leaving an hours-long dead timer behind.
+                watchdog.cancel()
                 status = outcome[runner_proc]
                 if not isinstance(status, BuildStatus):
                     build.log_line(self.sim.now,
@@ -109,6 +111,7 @@ class JenkinsServer:
                 status = BuildStatus.ABORTED
             self._finish(build, status)
         except Interrupt:
+            watchdog.cancel()  # no-op if it already fired
             if runner_proc.alive:
                 runner_proc.interrupt("aborted")
             build.log_line(self.sim.now, "aborted")

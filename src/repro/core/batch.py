@@ -23,6 +23,7 @@ scenario a worker ran is what its report records.
 
 from __future__ import annotations
 
+import atexit
 import math
 import multiprocessing
 import os
@@ -36,7 +37,47 @@ from .campaign import CampaignReport, run_scenario
 from .store import CampaignStore, cell_hash, format_cell_key
 
 __all__ = ["CampaignRun", "MetricSummary", "run_campaigns",
-           "aggregate_runs", "summarize_runs"]
+           "aggregate_runs", "summarize_runs", "shutdown_worker_pool"]
+
+# -- warm worker pool ---------------------------------------------------------
+#
+# Worker processes are expensive to fork/spawn (each re-imports the whole
+# package); a sweep driver calling run_campaigns() in a loop — parameter
+# scans, resumed stores, the CLI compare flow — used to pay that startup
+# for every batch.  The pool below survives between calls and is only
+# rebuilt when the requested worker count changes.  Workers are stateless
+# (cells travel as JSON specs and come back as reports), so reuse cannot
+# leak simulation state across batches.
+
+_warm_pool: Optional[multiprocessing.pool.Pool] = None
+_warm_pool_size = 0
+
+
+def _get_warm_pool(processes: int) -> multiprocessing.pool.Pool:
+    global _warm_pool, _warm_pool_size
+    if _warm_pool is not None and _warm_pool_size != processes:
+        shutdown_worker_pool()
+    if _warm_pool is None:
+        _warm_pool = multiprocessing.Pool(processes=processes)
+        _warm_pool_size = processes
+    return _warm_pool
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the warm worker pool (no-op when none is alive).
+
+    Registered via ``atexit``; call it explicitly to reclaim the worker
+    processes early (e.g. after the last batch of a long-lived driver).
+    """
+    global _warm_pool, _warm_pool_size
+    if _warm_pool is not None:
+        _warm_pool.terminate()
+        _warm_pool.join()
+        _warm_pool = None
+        _warm_pool_size = 0
+
+
+atexit.register(shutdown_worker_pool)
 
 #: Scalar CampaignReport fields worth aggregating across seeds.
 SCALAR_METRICS: tuple[str, ...] = (
@@ -146,6 +187,8 @@ def run_campaigns(
     store: Optional[Union[CampaignStore, str, "os.PathLike[str]"]] = None,
     resume: bool = False,
     on_cell: Optional[ProgressCallback] = None,
+    warm_pool: bool = True,
+    chunksize: Optional[int] = None,
 ) -> list[CampaignRun]:
     """Run every scenario × seed combination; returns one run per cell.
 
@@ -166,8 +209,16 @@ def run_campaigns(
     carries the traceback in ``error`` and ``report=None``, and is
     recorded as a failure when a store is attached.
 
+    ``warm_pool=True`` (the default) keeps the worker pool alive between
+    calls, so a driver looping over batches pays process startup once;
+    ``warm_pool=False`` restores the old one-shot pool.  ``chunksize``
+    controls how many cells ride one IPC message (default: adaptive,
+    1 for small matrices scaling up to 8) — larger chunks cut dispatch
+    overhead on big sweeps at the cost of coarser work stealing.
+
     Results are deterministic per cell and come back in matrix order
-    (scenario-major, seed-minor) regardless of worker count.
+    (scenario-major, seed-minor) regardless of worker count, pool warmth
+    or chunking.
     """
     resolved = [get_preset(s) if isinstance(s, str) else s for s in specs]
     seed_list = list(seeds)
@@ -220,11 +271,32 @@ def run_campaigns(
         for payload in pending:
             finish(*_run_cell(payload))
     else:
-        with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
-            # Streaming: archive/report each cell the moment it lands, in
-            # completion order; `runs` reassembles matrix order by index.
-            for result in pool.imap_unordered(_run_cell, pending):
-                finish(*result)
+        if chunksize is None:
+            chunksize = max(1, min(8, len(pending) // (workers * 4)))
+        if warm_pool:
+            # Sized by `workers`, not by this batch's pending count: a
+            # mostly-cached resume batch must reuse the warm pool, not
+            # tear it down to fit its two missing cells (idle workers are
+            # far cheaper than a pool rebuild).
+            pool = _get_warm_pool(workers)
+            try:
+                # Streaming: archive/report each cell the moment it lands,
+                # in completion order; `runs` reassembles matrix order.
+                for result in pool.imap_unordered(_run_cell, pending,
+                                                  chunksize):
+                    finish(*result)
+            except BaseException:
+                # A broken or abandoned pool (worker killed mid-batch,
+                # KeyboardInterrupt while draining) must not poison the
+                # next call; dispose of it before propagating.
+                shutdown_worker_pool()
+                raise
+        else:
+            with multiprocessing.Pool(
+                    processes=min(workers, len(pending))) as pool:
+                for result in pool.imap_unordered(_run_cell, pending,
+                                                  chunksize):
+                    finish(*result)
     assert all(r is not None for r in runs)
     return runs  # type: ignore[return-value]
 

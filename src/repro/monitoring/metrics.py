@@ -76,12 +76,20 @@ class MetricStore:
         self._capacity = capacity_per_series
         self._series: dict[str, RingBuffer] = {}
 
-    def record(self, series: str, t: float, value: float) -> None:
-        ring = self._series.get(series)
+    def series(self, name: str) -> RingBuffer:
+        """The named ring, created empty on first use.
+
+        Hot-path accessor: probes hold the returned reference and append
+        directly, skipping the per-sample name lookup ``record`` pays.
+        """
+        ring = self._series.get(name)
         if ring is None:
             ring = RingBuffer(self._capacity)
-            self._series[series] = ring
-        ring.append(t, value)
+            self._series[name] = ring
+        return ring
+
+    def record(self, series: str, t: float, value: float) -> None:
+        self.series(series).append(t, value)
 
     def series_names(self) -> list[str]:
         return sorted(self._series)

@@ -8,19 +8,31 @@
   *wrong node's* consumption — the exact slide-13 bug ("cabling issue ⇒
   wrong measurements by testbed monitoring service").  A site under
   ``KWAPI_DOWN`` returns no measurements at all.
+
+Hot-path note: on a month-long campaign the probes sample the whole park
+every period, so both services precompute per-node series handles (direct
+:class:`~repro.monitoring.metrics.RingBuffer` references plus the
+``"<uid>.<metric>"`` key strings) instead of rebuilding f-string keys and
+dicts per node per sample, and the park-wide sweeps
+(:meth:`Ganglia.sample_park`, :meth:`Kwapi.sample_park`) run in one pass.
+Only the *documented* wiring is precomputed — the actual cabling is
+re-read on every measurement, because cabling faults mutate it in place.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..faults.services import ServiceHealth
 from ..nodes.machine import MachinePark
 from ..testbed.description import TestbedDescription
 from ..util.events import Simulator
-from .metrics import MetricStore
+from .metrics import MetricStore, RingBuffer
 
 __all__ = ["Ganglia", "Kwapi"]
+
+#: Ganglia's per-node metric names, in recording order.
+_GANGLIA_METRICS = ("cpu_load", "mem_total_gb", "up")
 
 
 class Ganglia:
@@ -33,18 +45,46 @@ class Ganglia:
         self.store = store if store is not None else MetricStore()
         self.period_s = period_s
         self._running = False
+        #: Per-node sampling handles, built lazily: (machine, ring per
+        #: metric).  A direct ring reference skips the store's key lookup
+        #: and the f-string key rebuild on every sample.
+        self._handles: dict[str, tuple] = {}
+
+    def _handle(self, uid: str) -> tuple:
+        handle = self._handles.get(uid)
+        if handle is None:
+            machine = self.machines[uid]
+            rings = tuple(self.store.series(f"{uid}.{name}")
+                          for name in _GANGLIA_METRICS)
+            handle = (machine,) + rings
+            self._handles[uid] = handle
+        return handle
 
     def sample_node(self, uid: str) -> dict[str, float]:
         """One on-demand sample of a node's system metrics."""
-        machine = self.machines[uid]
-        metrics = {
-            "cpu_load": machine.cpu_load,
-            "mem_total_gb": float(machine.actual.ram_gb),
-            "up": 1.0 if machine.available else 0.0,
-        }
-        for name, value in metrics.items():
-            self.store.record(f"{uid}.{name}", self.sim.now, value)
-        return metrics
+        machine, cpu_ring, mem_ring, up_ring = self._handle(uid)
+        now = self.sim.now
+        cpu = machine.cpu_load
+        mem = float(machine.actual.ram_gb)
+        up = 1.0 if machine.available else 0.0
+        cpu_ring.append(now, cpu)
+        mem_ring.append(now, mem)
+        up_ring.append(now, up)
+        return {"cpu_load": cpu, "mem_total_gb": mem, "up": up}
+
+    def sample_park(self, uids: Iterable[str]) -> int:
+        """Sample every node in one pass (no per-node dict building);
+        returns the number of nodes sampled."""
+        now = self.sim.now
+        handle = self._handle
+        count = 0
+        for uid in uids:
+            machine, cpu_ring, mem_ring, up_ring = handle(uid)
+            cpu_ring.append(now, machine.cpu_load)
+            mem_ring.append(now, float(machine.actual.ram_gb))
+            up_ring.append(now, 1.0 if machine.available else 0.0)
+            count += 1
+        return count
 
     def start(self, node_uids: Optional[list[str]] = None) -> None:
         """Start periodic sampling (all nodes by default)."""
@@ -59,8 +99,7 @@ class Ganglia:
 
     def _run(self, uids: list[str]):
         while self._running:
-            for uid in uids:
-                self.sample_node(uid)
+            self.sample_park(uids)
             yield self.sim.timeout(self.period_s)
 
 
@@ -76,18 +115,43 @@ class Kwapi:
         self.store = store if store is not None else MetricStore()
         #: documented wiring: (pdu uid, port) -> node uid
         self._documented: dict[tuple[str, int], str] = {}
+        #: inverse documented wiring, so per-node reads stop scanning the
+        #: whole outlet table; the documentation never changes at runtime
+        #: (only the *actual* cabling drifts), so this is safe to freeze.
+        self._outlet_of: dict[str, tuple[str, int]] = {}
         self._site_of: dict[str, str] = {}
+        #: precomputed "<uid>.power_w" series keys (satellite fix: these
+        #: were f-string-rebuilt on every sample of every node).
+        self._power_key: dict[str, str] = {}
+        self._power_ring: dict[str, RingBuffer] = {}
         for node in testbed.iter_nodes():
-            self._documented[(node.pdu.pdu_uid, node.pdu.port)] = node.uid
+            outlet = (node.pdu.pdu_uid, node.pdu.port)
+            self._documented[outlet] = node.uid
+            self._outlet_of[node.uid] = outlet
             self._site_of[node.uid] = node.site
+            self._power_key[node.uid] = f"{node.uid}.power_w"
+
+    def _ring(self, node_uid: str) -> RingBuffer:
+        ring = self._power_ring.get(node_uid)
+        if ring is None:
+            ring = self.store.series(self._power_key[node_uid])
+            self._power_ring[node_uid] = ring
+        return ring
+
+    def _actual_wiring(self) -> dict[tuple[str, int], object]:
+        """One pass over the park: (pdu uid, port) actually cabled -> machine.
+
+        Built fresh per sweep — cabling faults mutate ``machine.actual``
+        in place, so this must never be cached across simulated events.
+        """
+        return {(m.actual.pdu_uid, m.actual.pdu_port): m
+                for m in self.machines.machines.values()}
 
     def outlet_watts(self, pdu_uid: str, port: int) -> Optional[float]:
         """Raw measurement of one outlet: the draw of whatever machine is
         *actually* cabled there."""
-        for machine in self.machines.machines.values():
-            if (machine.actual.pdu_uid, machine.actual.pdu_port) == (pdu_uid, port):
-                return machine.power_draw_watts()
-        return None  # outlet not wired
+        machine = self._actual_wiring().get((pdu_uid, port))
+        return machine.power_draw_watts() if machine is not None else None
 
     def node_power_watts(self, node_uid: str) -> Optional[float]:
         """What the monitoring service *reports* for a node.
@@ -98,17 +162,39 @@ class Kwapi:
         """
         if self._site_of.get(node_uid) in self.services.kwapi_down:
             return None
-        desc_outlet = None
-        for (pdu, port), uid in self._documented.items():
-            if uid == node_uid:
-                desc_outlet = (pdu, port)
-                break
+        desc_outlet = self._outlet_of.get(node_uid)
         if desc_outlet is None:
             return None
         value = self.outlet_watts(*desc_outlet)
         if value is not None:
-            self.store.record(f"{node_uid}.power_w", self.sim.now, value)
+            self._ring(node_uid).append(self.sim.now, value)
         return value
+
+    def sample_park(self, node_uids: Iterable[str]) -> int:
+        """Measure every node's documented outlet in one sweep.
+
+        The actual-cabling map is built once for the whole park instead of
+        once per outlet, so a full sweep is O(nodes) rather than
+        O(nodes^2); the reported values (including wrong-node readings
+        from swapped cables) are identical to per-node calls.  Returns the
+        number of measurements recorded.
+        """
+        wiring = self._actual_wiring()
+        kwapi_down = self.services.kwapi_down
+        now = self.sim.now
+        count = 0
+        for uid in node_uids:
+            if self._site_of.get(uid) in kwapi_down:
+                continue
+            desc_outlet = self._outlet_of.get(uid)
+            if desc_outlet is None:
+                continue
+            machine = wiring.get(desc_outlet)
+            if machine is None:
+                continue
+            self._ring(uid).append(now, machine.power_draw_watts())
+            count += 1
+        return count
 
     def true_power_watts(self, node_uid: str) -> float:
         """Ground truth (not available to the real service; used by tests

@@ -65,13 +65,32 @@ class NodeTimeline:
         self._starts.insert(idx, reservation.start)
         self._reservations.insert(idx, reservation)
 
-    def remove_job(self, job_id: int) -> int:
-        """Drop all reservations of one job; returns how many were removed."""
-        keep = [(s, r) for s, r in zip(self._starts, self._reservations)
-                if r.job_id != job_id]
-        removed = len(self._reservations) - len(keep)
-        self._starts = [s for s, _ in keep]
-        self._reservations = [r for _, r in keep]
+    def remove_job(self, job_id: int, start: Optional[float] = None) -> int:
+        """Drop all reservations of one job; returns how many were removed.
+
+        ``start`` is the scheduler's hint of where the job's reservation
+        sits (a job holds at most one interval per node, and two intervals
+        on one timeline can never share a start): with it the removal is a
+        bisect + single deletion instead of a full-list rebuild — releases
+        run once per node per completed job, which made the rebuild one of
+        the hottest allocations of a campaign.
+        """
+        starts = self._starts
+        reservations = self._reservations
+        if start is not None:
+            idx = bisect.bisect_left(starts, start)
+            if idx < len(reservations) and reservations[idx].job_id == job_id \
+                    and starts[idx] == start:
+                del starts[idx]
+                del reservations[idx]
+                return 1
+            # Hint missed (e.g. the reservation was truncated): fall through.
+        removed = 0
+        for i in range(len(reservations) - 1, -1, -1):
+            if reservations[i].job_id == job_id:
+                del starts[i]
+                del reservations[i]
+                removed += 1
         return removed
 
     def truncate_job(self, job_id: int, end: float) -> None:
@@ -98,20 +117,50 @@ class NodeTimeline:
             return self._reservations[idx - 1].end
         return t
 
+    def next_fit(self, after: float, duration: float) -> float:
+        """Earliest ``s >= after`` with ``[s, s + duration)`` free.
+
+        Always finite (the timeline's tail is an unbounded free window).
+        Bisects to the first relevant reservation instead of walking the
+        whole list — the building block of the whole-cluster search.
+        """
+        reservations = self._reservations
+        idx = bisect.bisect_right(self._starts, after)
+        t = after
+        if idx > 0 and reservations[idx - 1].end > t:
+            t = reservations[idx - 1].end
+        while idx < len(reservations):
+            r = reservations[idx]
+            if r.start - t >= duration:
+                return t
+            if r.end > t:
+                t = r.end
+            idx += 1
+        return t
+
     def release_points(self, after: float) -> list[float]:
         """Reservation end times > ``after`` (candidate start times)."""
         return sorted({r.end for r in self._reservations if r.end > after})
 
     def free_intervals(self, after: float) -> list[tuple[float, float]]:
-        """Maximal free windows from ``after`` on (last one is unbounded)."""
-        out = []
+        """Maximal free windows from ``after`` on (last one is unbounded).
+
+        Bisects past reservations that ended before ``after`` instead of
+        walking the whole history — on long campaigns the hot searches sit
+        at the tail of deep timelines.
+        """
+        reservations = self._reservations
+        idx = bisect.bisect_right(self._starts, after)
         prev = after
-        for r in self._reservations:
-            if r.end <= after:
-                continue
+        if idx > 0 and reservations[idx - 1].end > after:
+            prev = reservations[idx - 1].end
+        out = []
+        for i in range(idx, len(reservations)):
+            r = reservations[i]
             if r.start > prev:
                 out.append((prev, r.start))
-            prev = max(prev, r.end)
+            if r.end > prev:
+                prev = r.end
         out.append((prev, math.inf))
         return out
 
@@ -146,12 +195,14 @@ class Gantt:
                 reserved.append(uid)
         except SchedulingError:
             for uid in reserved:  # roll back the partial reservation
-                self._timelines[uid].remove_job(job_id)
+                self._timelines[uid].remove_job(job_id, start)
             raise
 
-    def release(self, uids: Iterable[str], job_id: int) -> None:
+    def release(self, uids: Iterable[str], job_id: int,
+                start: Optional[float] = None) -> None:
+        timelines = self._timelines
         for uid in uids:
-            self._timelines[uid].remove_job(job_id)
+            timelines[uid].remove_job(job_id, start)
 
     def truncate(self, uids: Iterable[str], job_id: int, end: float) -> None:
         for uid in uids:
@@ -165,7 +216,9 @@ class Gantt:
         return sorted(times)
 
     def earliest_start(self, uids: Iterable[str], after: float,
-                       duration: float, k: int) -> Optional[float]:
+                       duration: float, k: int,
+                       intervals_cache: Optional[dict] = None,
+                       ) -> Optional[float]:
         """Earliest ``t >= after`` when ``k`` of the nodes are simultaneously
         free over ``[t, t + duration)``.
 
@@ -175,21 +228,72 @@ class Gantt:
         ``k`` host intervals overlap.  This is O(R log R) in the number of
         reservations — the candidate-start scan it replaces was quadratic
         in queue depth and dominated month-long campaigns.
+
+        ``intervals_cache`` (uid -> free interval list) lets one
+        scheduling pass share the per-timeline interval computation across
+        every queued job it places: free intervals depend only on the
+        timeline and ``after`` (not on the job's walltime), so the caller
+        may reuse the dict for many searches at one instant, dropping the
+        entries of any node it reserves in between.
         """
         if duration <= 0:
             raise SchedulingError(f"non-positive duration: {duration}")
         uids = list(uids)
-        if k < 1 or k > len(uids):
+        timelines = [self._timelines[u] for u in uids]
+        n = len(timelines)
+        if k < 1 or k > n:
             return None
+        # Empty timelines (idle nodes with no future reservations — the
+        # common case on a lightly loaded cluster) can all host a start at
+        # `after`; prune them from the sweep entirely.
+        idle = sum(1 for tl in timelines if not tl._reservations)
+        if idle >= k:
+            return after
+        if k == n:
+            # Whole-cluster request: the answer is the fixpoint of "advance
+            # to every node's next window".  Each pass re-queries only the
+            # nodes that still conflict (via bisect), instead of building
+            # the full interval-overlap event list across every timeline.
+            t = after
+            while True:
+                worst = t
+                for tl in timelines:
+                    s = tl.next_fit(t, duration)
+                    if s > worst:
+                        worst = s
+                if worst == t:
+                    return t
+                t = worst
+        interval_lists = []
+        fits_now = idle
+        for uid, tl in zip(uids, timelines):
+            if not tl._reservations:
+                continue  # accounted for in the idle baseline
+            if intervals_cache is None:
+                intervals = tl.free_intervals(after)
+            else:
+                intervals = intervals_cache.get(uid)
+                if intervals is None:
+                    intervals = tl.free_intervals(after)
+                    intervals_cache[uid] = intervals
+            interval_lists.append(intervals)
+            s0, e0 = intervals[0]
+            if s0 == after and e0 - after >= duration:
+                fits_now += 1
+        if fits_now >= k:
+            # Enough nodes are free at `after` itself — the sweep would
+            # return `after` after building and sorting the full event
+            # list; skip it (the common shape on replanning passes).
+            return after
         events: list[tuple[float, int]] = []
-        for uid in uids:
-            for s, e in self._timelines[uid].free_intervals(after):
+        for intervals in interval_lists:
+            for s, e in intervals:
                 if e - s >= duration:
                     events.append((s, 0))  # +1: can host starts from s on
                     if math.isfinite(e):
                         events.append((e - duration, 1))  # -1 after this point
         events.sort()
-        count = 0
+        count = idle
         for coord, kind in events:
             if kind == 0:
                 count += 1

@@ -132,7 +132,8 @@ class OarServer:
             self._waiting.remove(job)
         elif job.state == JobState.SCHEDULED:
             self._scheduled.remove(job)
-            self.gantt.release(job.assigned_nodes, job.job_id)
+            self.gantt.release(job.assigned_nodes, job.job_id,
+                               job.scheduled_start)
             self._dirty_nodes.update(job.assigned_nodes)
             self._request_replan()
             job.assignment = ()
@@ -173,14 +174,26 @@ class OarServer:
         self._matching_cache.clear()
 
     def _find_assignment(
-        self, job: Job, after: float
+        self, job: Job, after: float,
+        intervals_cache: Optional[dict] = None,
+        alive: Optional[frozenset] = None,
     ) -> Optional[tuple[float, tuple[tuple[str, ...], ...]]]:
-        """Earliest (start, per-part node sets) satisfying the request."""
+        """Earliest (start, per-part node sets) satisfying the request.
+
+        ``intervals_cache``/``alive`` let a scheduling pass share the
+        free-interval computation and the park's alive-node set across
+        every job it places at one instant (see :meth:`_schedule_pass`);
+        one-off callers omit them and pay the per-call computation.
+        """
         walltime = job.walltime_s
         part_candidates: list[list[str]] = []
         for part in job.request.parts:
-            candidates = [u for u in self._matching(part.expr)
-                          if self.node_state(u) == "Alive"]
+            if alive is not None:
+                candidates = [u for u in self._matching(part.expr)
+                              if u in alive]
+            else:
+                candidates = [u for u in self._matching(part.expr)
+                              if self.node_state(u) == "Alive"]
             if not candidates:
                 return None
             needed = len(candidates) if part.count == ALL_NODES else part.count
@@ -191,11 +204,11 @@ class OarServer:
             # Fast path (the overwhelmingly common shape): interval sweep.
             part, candidates = job.request.parts[0], part_candidates[0]
             needed = len(candidates) if part.count == ALL_NODES else part.count
-            start = self.gantt.earliest_start(candidates, after, walltime, needed)
+            start = self.gantt.earliest_start(candidates, after, walltime,
+                                              needed, intervals_cache)
             if start is None:
                 return None
-            free = [u for u in candidates
-                    if self.gantt.is_free(u, start, start + walltime)]
+            free = self.gantt.free_nodes(candidates, start, start + walltime)
             chosen = free if part.count == ALL_NODES else free[:needed]
             return start, (tuple(chosen),)
         all_candidates = sorted({u for c in part_candidates for u in c})
@@ -236,14 +249,27 @@ class OarServer:
         self.sim.call_at(start, self._try_start, job, generation)
 
     def _schedule_pass(self) -> None:
-        """Give every waiting job the earliest reservation that fits."""
+        """Give every waiting job the earliest reservation that fits.
+
+        The whole pass runs at one instant, so the alive-node set and each
+        node's free-interval list are computed once and shared across the
+        queue; only the timelines a reservation actually touches are
+        recomputed for later jobs.  Before this batching, a deep queue
+        rescanned every identical timeline once per waiting job.
+        """
         still_waiting: list[Job] = []
+        now = self.sim.now
+        alive = frozenset(self.alive_nodes())
+        intervals_cache: dict[str, list] = {}
         for job in self._waiting:
-            placement = self._find_assignment(job, self.sim.now)
+            placement = self._find_assignment(job, now, intervals_cache, alive)
             if placement is None:
                 still_waiting.append(job)  # no alive matching nodes right now
                 continue
             self._reserve(job, *placement)
+            for part in placement[1]:
+                for uid in part:
+                    intervals_cache.pop(uid, None)
         self._waiting = still_waiting
 
     def _replan_future_jobs(self, touching: Optional[set[str]] = None) -> None:
@@ -268,7 +294,8 @@ class OarServer:
             replanned = self._scheduled
             self._scheduled = []
         for job in replanned:
-            self.gantt.release(job.assigned_nodes, job.job_id)
+            self.gantt.release(job.assigned_nodes, job.job_id,
+                               job.scheduled_start)
             job.assignment = ()
             job.scheduled_start = None
             job.state = JobState.WAITING
@@ -286,7 +313,8 @@ class OarServer:
         dead = [u for u in job.assigned_nodes if self.node_state(u) != "Alive"]
         if dead:
             # A reserved node died in the meantime: back to the queue.
-            self.gantt.release(job.assigned_nodes, job.job_id)
+            self.gantt.release(job.assigned_nodes, job.job_id,
+                               job.scheduled_start)
             job.assignment = ()
             job.scheduled_start = None
             job.generation += 1

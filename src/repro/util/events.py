@@ -8,15 +8,29 @@ test scheduler and the fault injector are all processes driven by one
 The design follows the classic event-heap + generator-process model (a small
 subset of SimPy, reimplemented here because the environment is offline):
 
-* :class:`Simulator` owns a heap of ``(time, sequence, callback)`` entries.
+* :class:`Simulator` owns a heap of ``(time, sequence, callback)`` entries
+  plus a FIFO *instant queue* for zero-delay entries at the current time.
   The sequence number makes execution order fully deterministic for equal
-  timestamps (insertion order), which matters for reproducible campaigns.
+  timestamps (insertion order), which matters for reproducible campaigns;
+  splitting the current instant into a deque keeps the hottest scheduling
+  operation (trigger callbacks, process resumes) O(1) instead of paying
+  two heap operations per event.
 * :class:`Event` is a one-shot occurrence that callbacks and processes can
   wait on.
 * :class:`Process` wraps a generator; the generator ``yield``\\ s events
   (typically :meth:`Simulator.timeout`) and is resumed when they trigger.
   A process is itself an event that triggers when the generator returns,
   so processes can join each other.
+* ``yield sim.timeout(delay)`` — by far the dominant pattern — takes a
+  **fast path**: the kernel notes the waiting process on the timeout
+  itself and resumes the generator straight from the heap entry, with no
+  callback list, no closure and no intermediate event hop.  The resume is
+  re-enqueued at the (time, seq) slot the generic hop would have used, so
+  execution order is byte-for-byte identical to the slow path.
+* Pending timeouts can be **lazily cancelled** (:meth:`Timeout.cancel`,
+  and automatically when a fast-waiting process is interrupted): the heap
+  entry is marked dead and skipped at pop time, so hour-long watchdogs
+  abandoned after seconds do not pile up as dead work.
 * :class:`AnyOf` / :class:`AllOf` combine events.
 * :class:`Resource` is a capacity-limited FIFO resource (used e.g. for
   Jenkins executors).
@@ -38,9 +52,12 @@ Example
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import SimulationError
+
+_heappush = heapq.heappush
 
 __all__ = [
     "Event",
@@ -70,13 +87,16 @@ class Event:
 
     An event starts *pending*; :meth:`succeed` or :meth:`fail` triggers it
     exactly once, delivering ``value`` to every registered callback.
+
+    ``callbacks`` is allocated lazily: most events in a simulation get at
+    most one waiter, and timeouts on the process fast path get none.
     """
 
     __slots__ = ("sim", "callbacks", "_triggered", "value", "_is_error")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._triggered = False
         self.value: Any = None
         self._is_error = False
@@ -110,33 +130,122 @@ class Event:
         self.value = value
         self._is_error = is_error
         callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
-        for cb in callbacks:
-            self.sim._schedule_call(0.0, cb, self)
+        if callbacks:
+            schedule = self.sim._schedule_call
+            for cb in callbacks:
+                schedule(0.0, cb, self)
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(event)`` when the event triggers (immediately if past)."""
         if self._triggered:
             self.sim._schedule_call(0.0, fn, self)
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
-            assert self.callbacks is not None
             self.callbacks.append(fn)
 
 
-class Timeout(Event):
-    """An event that triggers after a fixed simulated delay."""
+def _fire_timeout(timeout: "Timeout", value: Any) -> None:
+    """Heap-entry dispatch target for timeouts.
 
-    __slots__ = ("delay",)
+    A module-level function so scheduling a timeout does not allocate a
+    bound method per push (this runs once per ``yield sim.timeout(...)``,
+    the hottest allocation site in the simulator).
+    """
+    proc = timeout._proc
+    if proc is None:
+        if timeout._dead:
+            return  # cancelled instant timeout (no heap entry to skip)
+        timeout.succeed(value)
+        return
+    # Fast path: resume the waiting generator straight from the heap
+    # entry, re-enqueued at the (time, seq) slot the generic callback hop
+    # would have consumed — order identical, machinery skipped.
+    timeout._proc = None
+    timeout._heap_seq = None
+    timeout._triggered = True
+    timeout.value = value
+    sim = timeout.sim
+    seq = sim._seq = sim._seq + 1
+    sim._queue.append((seq, proc._bound_resume,
+                       (timeout._ptoken, value, None)))
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay.
+
+    When the timeout is yielded by exactly one process (the dominant
+    pattern) the kernel registers the process *directly* on the timeout
+    (``_proc``/``_ptoken``) instead of going through the callback
+    machinery; :func:`_fire_timeout` then re-enqueues the generator resume
+    at the very (time, seq) slot the generic callback hop would have
+    consumed, keeping execution order identical while skipping one
+    closure, one callback list and two function frames per yield.
+    """
+
+    __slots__ = ("delay", "_proc", "_ptoken", "_heap_seq", "_dead")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        # Inlined Event.__init__ + scheduling: this runs once per yield in
+        # every hot loop of the simulation.
+        self.sim = sim
+        self.callbacks = None
+        self._triggered = False
+        self.value = None
+        self._is_error = False
         self.delay = delay
-        sim._schedule_call(delay, self._fire, value)
+        self._proc: Optional["Process"] = None
+        self._ptoken = 0
+        self._dead = False
+        seq = sim._seq = sim._seq + 1
+        if delay:
+            _heappush(sim._heap, (sim._now + delay, seq, _fire_timeout,
+                                  (self, value)))
+            self._heap_seq: Optional[int] = seq
+        else:
+            sim._queue.append((seq, _fire_timeout, (self, value)))
+            self._heap_seq = None  # instant entries cannot be cancelled
 
-    def _fire(self, value: Any) -> None:
-        self.succeed(value)
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._dead:
+            # Registering on a cancelled timeout would strand the waiter
+            # forever (the fire entry is gone); fail loudly instead.
+            raise SimulationError("cannot wait on a cancelled timeout")
+        if self._proc is not None:
+            # A second waiter appeared after a process fast-registered:
+            # demote the fast registration to the generic callback path,
+            # preserving registration order.
+            proc, token = self._proc, self._ptoken
+            self._proc = None
+            proc._waiting_on = self
+            super().add_callback(lambda ev: proc._on_wait_done(token, ev))
+        super().add_callback(fn)
+
+    def cancel(self) -> None:
+        """Lazily cancel a pending timeout: its fire is marked dead (and
+        any heap entry skipped at pop time), so an abandoned long watchdog
+        costs one set entry instead of living in the heap until it fires.
+
+        Only for a timeout nothing depends on any more — e.g. the losing
+        branch of an ``any_of`` race, whose already-settled combinator
+        callback would have been a no-op anyway; any callbacks still
+        registered at cancel time simply never run.  Cancelling a timeout
+        a process is fast-waiting on would strand the process, so that is
+        a loud error (as is any *later* attempt to wait on a cancelled
+        timeout); cancelling an already-fired (or already-cancelled)
+        timeout is a no-op.
+        """
+        if self._proc is not None:
+            raise SimulationError(
+                "cannot cancel a timeout a process is waiting on "
+                "(interrupt the process instead)")
+        if not self._triggered and not self._dead:
+            self._dead = True
+            if self._heap_seq is not None:
+                self.sim._cancel_entry(self._heap_seq)
+                self._heap_seq = None
 
 
 class AnyOf(Event):
@@ -208,7 +317,8 @@ class Process(Event):
     that succeeds with the generator's return value.
     """
 
-    __slots__ = ("gen", "name", "_wait_token", "_alive")
+    __slots__ = ("gen", "name", "_wait_token", "_alive", "_waiting_on",
+                 "_bound_resume")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
@@ -216,7 +326,11 @@ class Process(Event):
         self.name = name or getattr(gen, "__name__", "process")
         self._wait_token = 0
         self._alive = True
-        sim._schedule_call(0.0, self._resume, self._wait_token, None, None)
+        self._waiting_on: Optional[Event] = None
+        #: Bound once: every fast-path resume reuses this instead of
+        #: allocating a fresh bound method per yield.
+        self._bound_resume = self._resume
+        sim._schedule_call(0.0, self._bound_resume, self._wait_token, None, None)
 
     @property
     def alive(self) -> bool:
@@ -228,11 +342,25 @@ class Process(Event):
 
         Interrupting a finished process is a silent no-op; interrupting a
         waiting process cancels the wait (the awaited event's later trigger
-        is ignored by this process).
+        is ignored by this process, and a fast-path timeout wait has its
+        heap entry lazily cancelled so no dead work remains).
         """
         if not self._alive:
             return
         self._wait_token += 1  # invalidate any pending wait resume
+        target = self._waiting_on
+        self._waiting_on = None
+        if target is not None and type(target) is Timeout \
+                and target._proc is self:
+            # The wait is over: retire the timeout entirely.  Marking it
+            # dead (not just skipping its heap entry) makes any later
+            # attempt to wait on it a loud error instead of a silent
+            # never-resume.
+            target._proc = None
+            target._dead = True
+            if target._heap_seq is not None:
+                self.sim._cancel_entry(target._heap_seq)
+                target._heap_seq = None
         self.sim._schedule_call(
             0.0, self._resume, self._wait_token, None, Interrupt(cause)
         )
@@ -242,6 +370,7 @@ class Process(Event):
     def _resume(self, token: int, value: Any, exc: Optional[BaseException]) -> None:
         if token != self._wait_token or not self._alive:
             return  # stale wake-up (process was interrupted meanwhile)
+        self._waiting_on = None
         try:
             if exc is not None:
                 target = self.gen.throw(exc)
@@ -256,6 +385,16 @@ class Process(Event):
             self._alive = False
             self.succeed(None)
             return
+        if type(target) is Timeout and target._proc is None \
+                and not target._triggered and target.callbacks is None \
+                and not target._dead:
+            # Fast path: the pristine-timeout wait needs no callback — the
+            # timeout resumes this generator straight from its heap entry.
+            self._wait_token += 1
+            target._proc = self
+            target._ptoken = self._wait_token
+            self._waiting_on = target
+            return
         if not isinstance(target, Event):
             self._alive = False
             err = SimulationError(
@@ -265,6 +404,7 @@ class Process(Event):
             raise err
         self._wait_token += 1
         token = self._wait_token
+        self._waiting_on = target
         target.add_callback(lambda ev: self._on_wait_done(token, ev))
 
     def _on_wait_done(self, token: int, ev: Event) -> None:
@@ -292,7 +432,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.in_use = 0
-        self._waiters: list[Event] = []
+        self._waiters: deque[Event] = deque()
         self._granted: set[Event] = set()
 
     @property
@@ -328,7 +468,7 @@ class Resource:
                 "(double release or cancelled request?)")
         self._granted.discard(request_event)
         if self._waiters:
-            ev = self._waiters.pop(0)
+            ev = self._waiters.popleft()
             self._granted.add(ev)
             ev.succeed(self)  # slot handed over directly
         else:
@@ -348,6 +488,17 @@ class Resource:
 class Simulator:
     """Deterministic discrete-event simulator.
 
+    Scheduling state is a binary heap for future entries plus a FIFO
+    *instant queue* for zero-delay entries.  Both share one monotonically
+    increasing sequence counter, so the execution order is exactly "by
+    (time, seq)" — identical to a single heap, but the (very hot)
+    zero-delay case costs two deque operations instead of two ``log n``
+    heap operations.  The invariant making the split sound: instant
+    entries are enqueued *at* the current time, and every heap entry at
+    the current time was pushed strictly earlier (a zero delay never
+    reaches the heap), so all current-time heap entries carry smaller
+    sequence numbers than anything in the queue and simply drain first.
+
     Parameters
     ----------
     start:
@@ -357,7 +508,11 @@ class Simulator:
     def __init__(self, start: float = 0.0):
         self._now = float(start)
         self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._queue: deque[tuple[int, Callable, tuple]] = deque()
         self._seq = 0
+        #: Sequence numbers of lazily-cancelled heap entries (skipped at
+        #: pop time); see :meth:`Timeout.cancel`.
+        self._cancelled: set[int] = set()
 
     @property
     def now(self) -> float:
@@ -367,10 +522,31 @@ class Simulator:
     # -- scheduling primitives ----------------------------------------------
 
     def _schedule_call(self, delay: float, fn: Callable, *args: Any) -> None:
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        if delay:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule in the past (delay={delay})")
+            heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        else:
+            self._queue.append((self._seq, fn, args))
+
+    def _cancel_entry(self, seq: int) -> None:
+        """Mark one heap entry dead; compact once dead entries dominate.
+
+        Compaction keeps abandoned watchdogs from occupying the heap until
+        their (possibly far-future) fire time.  It only removes entries
+        that would have been skipped anyway, and pop order is the total
+        order (time, seq), so the schedule is unchanged.
+        """
+        cancelled = self._cancelled
+        cancelled.add(seq)
+        heap = self._heap
+        if len(cancelled) >= 32 and 2 * len(cancelled) >= len(heap):
+            # In place: the run() hot loop holds a reference to this list.
+            heap[:] = [e for e in heap if e[1] not in cancelled]
+            heapq.heapify(heap)
+            cancelled.clear()
 
     def call_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Invoke ``fn(*args)`` at absolute simulated time ``when``."""
@@ -406,34 +582,97 @@ class Simulator:
     # -- execution ------------------------------------------------------------
 
     def step(self) -> bool:
-        """Execute the next scheduled callback.  Returns False if none left."""
-        if not self._heap:
-            return False
-        when, _seq, fn, args = heapq.heappop(self._heap)
-        if when < self._now:
-            raise SimulationError("event heap corrupted: time went backwards")
-        self._now = when
-        fn(*args)
-        return True
+        """Execute the next scheduled callback.  Returns False if none left.
+
+        Lazily-cancelled entries are discarded in passing — they never
+        count as a step, run nothing and leave the clock untouched (the
+        clock only advances to times at which something actually runs).
+        """
+        queue = self._queue
+        heap = self._heap
+        cancelled = self._cancelled
+        while True:
+            if queue and not (heap and heap[0][0] <= self._now):
+                _seq, fn, args = queue.popleft()
+                fn(*args)
+                return True
+            if not heap:
+                return False
+            when, seq, fn, args = heapq.heappop(heap)
+            if when < self._now:
+                raise SimulationError(
+                    "event heap corrupted: time went backwards")
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)  # dead entry: skip without running
+                continue
+            self._now = when
+            fn(*args)
+            return True
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or simulated time reaches ``until``.
+        """Run until the schedule drains or simulated time reaches ``until``.
 
         Returns the simulated time at which execution stopped.  When
         ``until`` is given the clock is advanced to exactly ``until`` even
         if the last event fired earlier.
         """
+        # The hottest loop in the codebase: the heap/queue pop-and-dispatch
+        # is inlined here (one step() call per event costs ~15 % throughput)
+        # and structured around the instant-queue invariant: dispatching
+        # can only append *future* heap entries or *current-instant* queue
+        # entries, and every heap entry at the current instant predates
+        # (seq-wise) everything in the queue.  Each phase below is
+        # therefore a tight drain with no cross-checks per event.
+        heap = self._heap
+        queue = self._queue
+        cancelled = self._cancelled
+        heappop = heapq.heappop
+        popleft = queue.popleft
         if until is None:
-            while self.step():
-                pass
-            return self._now
+            while True:
+                now = self._now  # constant until the advance step below
+                while heap and heap[0][0] <= now:
+                    _when, seq, fn, args = heappop(heap)
+                    if cancelled and seq in cancelled:
+                        cancelled.discard(seq)
+                        continue
+                    fn(*args)
+                while queue:
+                    _seq, fn, args = popleft()
+                    fn(*args)
+                if not heap:
+                    return self._now
+                when, seq, fn, args = heappop(heap)  # advance the clock
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)  # dead: skip, clock untouched
+                    continue
+                self._now = when
+                fn(*args)
         if until < self._now:
             raise SimulationError(f"run(until={until}) is in the past ({self._now})")
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
-        self._now = until
-        return self._now
+        while True:
+            now = self._now  # constant until the advance step below
+            while heap and heap[0][0] <= now:
+                _when, seq, fn, args = heappop(heap)
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
+                    continue
+                fn(*args)
+            while queue:
+                _seq, fn, args = popleft()
+                fn(*args)
+            if not heap or heap[0][0] > until:
+                self._now = until
+                return self._now
+            when, seq, fn, args = heappop(heap)  # advance the clock
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)  # dead: skip, clock untouched
+                continue
+            self._now = when
+            fn(*args)
 
     def peek(self) -> float:
         """Time of the next scheduled callback, or ``inf`` if none."""
+        if self._queue:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")

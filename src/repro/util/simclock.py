@@ -36,6 +36,15 @@ MONTH = 30 * DAY
 #: t=0 is a Wednesday (2017-02-01); day_of_week uses Monday=0.
 _EPOCH_WEEKDAY = 2
 
+#: Integer counterparts of the float durations, hoisted once: sim_date and
+#: format_duration run per formatted sample/log line, and the per-call
+#: ``int(DAY)``/``int(HOUR)``/``int(MINUTE)`` conversions showed up in
+#: campaign profiles.
+_MINUTE_I = int(MINUTE)
+_HOUR_I = int(HOUR)
+_DAY_I = int(DAY)
+_MONTH_I = int(MONTH)
+
 _MONTH_NAMES = [
     "Feb", "Mar", "Apr", "May", "Jun", "Jul",
     "Aug", "Sep", "Oct", "Nov", "Dec", "Jan",
@@ -68,10 +77,10 @@ def sim_date(t: float) -> SimDate:
     if t < 0:
         raise ValueError(f"negative simulated time: {t}")
     total = int(t)
-    month, rem = divmod(total, int(MONTH))
-    day, rem = divmod(rem, int(DAY))
-    hour, rem = divmod(rem, int(HOUR))
-    minute, second = divmod(rem, int(MINUTE))
+    month, rem = divmod(total, _MONTH_I)
+    day, rem = divmod(rem, _DAY_I)
+    hour, rem = divmod(rem, _HOUR_I)
+    minute, second = divmod(rem, _MINUTE_I)
     return SimDate(month, day + 1, hour, minute, second)
 
 
@@ -112,9 +121,9 @@ def format_duration(seconds: float) -> str:
     total = int(round(seconds))
     if total < 60:
         return f"{total}s"
-    days, rem = divmod(total, int(DAY))
-    hours, rem = divmod(rem, int(HOUR))
-    minutes, secs = divmod(rem, int(MINUTE))
+    days, rem = divmod(total, _DAY_I)
+    hours, rem = divmod(rem, _HOUR_I)
+    minutes, secs = divmod(rem, _MINUTE_I)
     if days:
         return f"{days}d {hours:02d}:{minutes:02d}:{secs:02d}"
     return f"{hours:02d}:{minutes:02d}:{secs:02d}"

@@ -1,0 +1,65 @@
+"""Determinism guard: seeded campaigns must be byte-for-byte reproducible.
+
+The golden hashes below were recorded with the *pre-fast-path* event
+kernel (PR 4 state) and re-verified unchanged after the kernel overhaul:
+the timeout fast path, the lazy-cancelled heap entries, the instant-queue
+split, the scheduler's batched ``earliest_start`` and the monitoring
+series handles all preserve the exact (time, seq) execution order.
+
+If this test fails, a change altered simulation *behaviour*, not just
+performance.  That can be a legitimate semantic change — in which case
+regenerate the goldens (see the command in ``_regenerate``) and say so in
+the PR — but it must never happen as a side effect of an optimization.
+"""
+
+import hashlib
+import json
+
+from repro import run_scenario, scenarios
+
+#: (preset, seed, months) -> sha256 of the canonical report JSON.
+GOLDEN_REPORT_HASHES = {
+    ("tiny-smoke", 0, 0.35):
+        "0845dea4fcfd13da451d159a406686625679acc97e3dd9a2baa016140f1db965",
+    ("tiny-smoke", 7, 0.35):
+        "b1eb3bb3d3a095308bf5f43695117c717f6e1ffc1055e363ab1d42db7b8f354c",
+    ("trace-replay", 0, 0.12):
+        "91ea40873affcb7ea1a1bccbd3fb63c0e0ced3d48a3ae5d0bb16d1eac959059c",
+    ("bursty-replay", 0, 0.12):
+        "05c54040f0f1391786d8fc188b94afb7f806b63862ee72a58204ae907c99461a",
+}
+
+
+def report_hash(report) -> str:
+    """Canonical content hash of a campaign report (sorted keys, no
+    whitespace) — any behavioural drift anywhere in the stack lands in
+    some report field and changes this."""
+    doc = json.dumps(report.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+def _regenerate():  # pragma: no cover - manual tool
+    """python -c "import sys; sys.path[:0] = ['src', 'tests/core']; \
+from test_determinism_guard import _regenerate; _regenerate()"
+    """
+    for (name, seed, months) in GOLDEN_REPORT_HASHES:
+        _, rep = run_scenario(scenarios.get(name), seed=seed, months=months)
+        print(f'    ("{name}", {seed}, {months}):\n'
+              f'        "{report_hash(rep)}",')
+
+
+def test_reports_match_pre_fast_path_goldens():
+    for (name, seed, months), want in GOLDEN_REPORT_HASHES.items():
+        _, report = run_scenario(scenarios.get(name), seed=seed, months=months)
+        got = report_hash(report)
+        assert got == want, (
+            f"{name} @ seed {seed} ({months} months) drifted from the "
+            f"golden report: {got} != {want} — simulation behaviour "
+            f"changed, not just speed")
+
+
+def test_repeated_run_is_byte_identical():
+    spec = scenarios.get("tiny-smoke")
+    _, first = run_scenario(spec, seed=3, months=0.1)
+    _, second = run_scenario(spec, seed=3, months=0.1)
+    assert report_hash(first) == report_hash(second)

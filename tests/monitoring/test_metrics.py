@@ -81,3 +81,80 @@ def test_store_bounded_memory():
         store.record("s", float(i), 0.0)
     t, _ = store.window("s", 0.0, 1e9)
     assert len(t) == 16
+
+
+# -- wraparound boundaries -----------------------------------------------------
+#
+# The probes lean on rings behaving exactly at the wrap seams: a month-long
+# campaign wraps every series many times over, and a off-by-one at capacity
+# would silently clip window queries and stats.
+
+
+def _filled(capacity, n):
+    ring = RingBuffer(capacity)
+    for i in range(n):
+        ring.append(float(i), float(i * 10))
+    return ring
+
+
+def test_ring_exactly_at_capacity_keeps_everything():
+    ring = _filled(8, 8)
+    assert len(ring) == 8
+    t, v = ring.window(0.0, 100.0)
+    assert list(t) == [float(i) for i in range(8)]
+    assert list(v) == [float(i * 10) for i in range(8)]
+    assert ring.last() == (7.0, 70.0)
+
+
+def test_ring_capacity_plus_one_drops_only_oldest():
+    ring = _filled(8, 9)
+    assert len(ring) == 8
+    t, _ = ring.window(0.0, 100.0)
+    assert list(t) == [float(i) for i in range(1, 9)]
+    assert ring.last() == (8.0, 80.0)
+    # the evicted sample is gone even from a window that would contain it
+    t0, _ = ring.window(0.0, 1.0)
+    assert list(t0) == []
+
+
+def test_ring_multiple_full_wraps_window_and_order():
+    # 5 capacity, 23 appends: head lands mid-buffer after 4+ wraps
+    ring = _filled(5, 23)
+    assert len(ring) == 5
+    t, v = ring.window(0.0, 1000.0)
+    assert list(t) == [18.0, 19.0, 20.0, 21.0, 22.0]  # chronological
+    assert list(v) == [180.0, 190.0, 200.0, 210.0, 220.0]
+    # window straddling the physical wrap point stays chronological
+    t2, _ = ring.window(19.0, 22.0)
+    assert list(t2) == [19.0, 20.0, 21.0]
+
+
+def test_stats_at_capacity_boundaries():
+    store = MetricStore(capacity_per_series=4)
+    for i in range(4):  # exactly at capacity
+        store.record("s", float(i), float(i))
+    stats = store.stats("s", 0.0, 10.0)
+    assert (stats.count, stats.minimum, stats.maximum) == (4, 0.0, 3.0)
+    assert stats.mean == pytest.approx(1.5)
+
+    store.record("s", 4.0, 4.0)  # capacity + 1: oldest sample evicted
+    stats = store.stats("s", 0.0, 10.0)
+    assert (stats.count, stats.minimum, stats.maximum) == (4, 1.0, 4.0)
+    assert stats.mean == pytest.approx(2.5)
+
+    for i in range(5, 13):  # several more full wraps
+        store.record("s", float(i), float(i))
+    stats = store.stats("s", 0.0, 100.0)
+    assert (stats.count, stats.minimum, stats.maximum) == (4, 9.0, 12.0)
+
+
+def test_store_series_handle_is_live():
+    # probes hold direct ring references; the handle and record() must hit
+    # the same ring
+    store = MetricStore(capacity_per_series=4)
+    ring = store.series("node.cpu")
+    ring.append(1.0, 0.5)
+    store.record("node.cpu", 2.0, 0.7)
+    assert store.series("node.cpu") is ring
+    assert len(ring) == 2
+    assert store.last("node.cpu") == (2.0, 0.7)

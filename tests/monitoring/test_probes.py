@@ -93,3 +93,80 @@ def test_power_reflects_load(world):
     park["grisou-3"].cpu_load = 1.0
     busy = kwapi.node_power_watts("grisou-3")
     assert busy > idle
+
+
+# -- batch park sweeps ---------------------------------------------------------
+
+
+def test_ganglia_sample_park_matches_per_node_samples(world):
+    sim, _, park, _ = world
+    ganglia = Ganglia(sim, park)
+    reference = Ganglia(sim, park)
+    uids = sorted(park.machines)
+    park[uids[0]].cpu_load = 0.4
+    park[uids[1]].crash()
+
+    assert ganglia.sample_park(uids) == len(uids)
+    for uid in uids:
+        reference.sample_node(uid)
+    for uid in uids:
+        for metric in ("cpu_load", "mem_total_gb", "up"):
+            key = f"{uid}.{metric}"
+            assert ganglia.store.last(key) == reference.store.last(key)
+
+
+def test_ganglia_handles_survive_machine_state_changes(world):
+    # The precomputed handles hold machine references, not snapshots: a
+    # later crash/load change must show up in the next sample.
+    sim, _, park, _ = world
+    ganglia = Ganglia(sim, park)
+    ganglia.sample_node("grisou-1")
+    park["grisou-1"].cpu_load = 0.9
+    park["grisou-1"].crash()
+    sample = ganglia.sample_node("grisou-1")
+    assert sample["cpu_load"] == 0.9
+    assert sample["up"] == 0.0
+
+
+def test_kwapi_sample_park_matches_per_node_reads(world, fresh_testbed):
+    sim, services, park, testbed = world
+    kwapi = Kwapi(sim, park, testbed, services)
+    reference = Kwapi(sim, park, testbed, services)
+    uids = sorted(park.machines)
+    park[uids[0]].cpu_load = 0.8
+
+    count = kwapi.sample_park(uids)
+    assert count == len(uids)
+    for uid in uids:
+        want = reference.node_power_watts(uid)
+        assert kwapi.store.last(f"{uid}.power_w")[1] == pytest.approx(want)
+
+
+def test_kwapi_sample_park_reports_swapped_cables(world):
+    # The slide-13 bug must survive the batch path: after a cable swap the
+    # sweep records the *neighbour's* draw under the documented node.
+    sim, services, park, testbed = world
+    ctx = FaultContext.build(park, services, ("debian8-std",))
+    rng = np.random.default_rng(3)
+    inst = apply_fault(FaultKind.PDU_CABLE_SWAP, ctx, rng, 1, 0.0)
+    a, b = inst.details["nodes"]
+    park[a].cpu_load = 0.9  # make the two draws distinguishable
+    park[b].cpu_load = 0.0
+
+    kwapi = Kwapi(sim, park, testbed, services)
+    kwapi.sample_park(sorted(park.machines))
+    reported_a = kwapi.store.last(f"{a}.power_w")[1]
+    assert reported_a == pytest.approx(kwapi.true_power_watts(b))
+    assert reported_a != pytest.approx(kwapi.true_power_watts(a))
+
+
+def test_kwapi_sample_park_skips_down_sites(world):
+    sim, services, park, testbed = world
+    kwapi = Kwapi(sim, park, testbed, services)
+    site = testbed.sites[0].uid
+    services.kwapi_down.add(site)
+    down_nodes = [u for u, s in kwapi._site_of.items() if s == site]
+    count = kwapi.sample_park(sorted(park.machines))
+    assert count == len(park.machines) - len(down_nodes)
+    for uid in down_nodes:
+        assert not kwapi.store.has_series(f"{uid}.power_w")

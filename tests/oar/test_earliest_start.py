@@ -113,3 +113,35 @@ def test_earliest_start_equal_coordinate_handover_tie():
     # duration 5, k=2: only t=5 sees both nodes free over [5, 10)
     assert g.earliest_start(["n1", "n2"], 0.0, 5.0, 2) == 5.0
     assert g.is_free("n1", 5.0, 10.0) and g.is_free("n2", 5.0, 10.0)
+
+
+@given(_reservations, st.floats(0, 200, allow_nan=False),
+       st.floats(1, 100, allow_nan=False), st.integers(1, 4))
+@settings(max_examples=150)
+def test_earliest_start_cache_is_transparent(raw, after, duration, k):
+    """A shared intervals cache never changes the answer — across many
+    searches at one instant and with whatever walltimes."""
+    g = _build(raw)
+    cache = {}
+    for dur in (duration, duration * 2.0, 1.0):
+        want = g.earliest_start(_NODES, after, dur, k)
+        got = g.earliest_start(_NODES, after, dur, k, intervals_cache=cache)
+        assert got == want
+
+
+@given(_reservations, st.floats(0, 200, allow_nan=False),
+       st.floats(1, 100, allow_nan=False))
+@settings(max_examples=150)
+def test_whole_cluster_fixpoint_matches_sweep(raw, after, duration):
+    """k == n takes the next_fit fixpoint path; a (k == n - 1) + one-free-
+    node cross-check pins it against the generic sweep."""
+    g = _build(raw)
+    start = g.earliest_start(_NODES, after, duration, len(_NODES))
+    assert start is not None and start >= after
+    assert all(g.is_free(u, start, start + duration) for u in _NODES)
+    # minimality against every earlier candidate boundary
+    for candidate in g.candidate_starts(_NODES, after):
+        if candidate >= start:
+            break
+        assert not all(g.is_free(u, candidate, candidate + duration)
+                       for u in _NODES)

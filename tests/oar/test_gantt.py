@@ -189,3 +189,79 @@ def test_remove_restores_freedom(raw, probe):
     for i in range(len(raw)):
         tl.remove_job(i)
     assert tl.is_free(probe, probe + 1.0)
+
+
+# -- next_fit ------------------------------------------------------------------
+
+
+def test_next_fit_on_empty_timeline_is_after():
+    assert NodeTimeline().next_fit(5.0, 10.0) == 5.0
+
+
+def test_next_fit_skips_covering_and_dense_reservations():
+    tl = NodeTimeline()
+    tl.add(Reservation(0.0, 10.0, 1))
+    tl.add(Reservation(12.0, 20.0, 2))   # 2-wide gap, too small for 5
+    tl.add(Reservation(26.0, 30.0, 3))   # 6-wide gap, fits 5
+    assert tl.next_fit(5.0, 5.0) == 20.0
+    assert tl.next_fit(5.0, 2.0) == 10.0  # the small gap fits 2
+    assert tl.next_fit(5.0, 7.0) == 30.0  # only the unbounded tail fits 7
+    assert tl.next_fit(21.0, 5.0) == 21.0
+
+
+def test_next_fit_agrees_with_free_intervals():
+    import math
+
+    tl = NodeTimeline()
+    for start, end, jid in ((3.0, 7.0, 1), (9.0, 14.0, 2), (20.0, 21.0, 3)):
+        tl.add(Reservation(start, end, jid))
+    for after in (0.0, 3.0, 6.5, 8.0, 15.0, 30.0):
+        for duration in (0.5, 2.0, 10.0):
+            want = min(s for s, e in tl.free_intervals(after)
+                       if e - s >= duration)
+            assert tl.next_fit(after, duration) == want, (after, duration)
+
+
+def test_free_intervals_ignores_ancient_history():
+    tl = NodeTimeline()
+    for i in range(10):
+        tl.add(Reservation(i * 10.0, i * 10.0 + 5.0, i + 1))
+    assert tl.free_intervals(73.0) == [(75.0, 80.0), (85.0, 90.0),
+                                       (95.0, float("inf"))]
+    # `after` inside a reservation: the window opens at its end
+    assert tl.free_intervals(91.0) == [(95.0, float("inf"))]
+
+
+# -- hinted removal ------------------------------------------------------------
+
+
+def test_remove_job_with_start_hint():
+    tl = NodeTimeline()
+    tl.add(Reservation(0.0, 5.0, 1))
+    tl.add(Reservation(10.0, 15.0, 2))
+    tl.add(Reservation(20.0, 25.0, 3))
+    assert tl.remove_job(2, start=10.0) == 1
+    assert [r.job_id for r in tl] == [1, 3]
+    assert tl.is_free(10.0, 15.0)
+
+
+def test_remove_job_with_stale_hint_falls_back_to_scan():
+    tl = NodeTimeline()
+    tl.add(Reservation(10.0, 15.0, 2))
+    # wrong hint (e.g. caller's bookkeeping drifted): still removed
+    assert tl.remove_job(2, start=11.0) == 1
+    assert len(tl) == 0
+    # missing job: both forms report 0
+    assert tl.remove_job(9, start=3.0) == 0
+    assert tl.remove_job(9) == 0
+
+
+def test_gantt_release_with_hint_matches_plain_release():
+    g1, g2 = Gantt(["a", "b"]), Gantt(["a", "b"])
+    for g in (g1, g2):
+        g.reserve(["a", "b"], 10.0, 20.0, 1)
+        g.reserve(["a"], 30.0, 40.0, 2)
+    g1.release(["a", "b"], 1, start=10.0)
+    g2.release(["a", "b"], 1)
+    for uid in ("a", "b"):
+        assert list(g1.timeline(uid)) == list(g2.timeline(uid))

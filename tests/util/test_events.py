@@ -490,3 +490,262 @@ def test_many_processes_complete():
         sim.process(proc(i))
     sim.run()
     assert len(count) == 500
+
+
+# -- timeout fast path & lazy cancellation ------------------------------------
+
+
+def test_fast_path_preserves_order_with_same_time_callbacks():
+    # A process waiting on a timeout and a call_in callback landing at the
+    # same instant: the callback was scheduled *after* the timeout, but the
+    # process resume consumes a fresh (time, seq) slot at fire time, so the
+    # callback must still run first — exactly as the pre-fast-path kernel
+    # ordered it.
+    sim = Simulator()
+    order = []
+
+    def sleeper():
+        yield sim.timeout(5.0)
+        order.append("process")
+
+    sim.process(sleeper())
+    sim.call_in(5.0, order.append, "callback")
+    sim.run()
+    assert order == ["callback", "process"]
+
+
+def test_fast_path_resumes_processes_in_creation_order():
+    sim = Simulator()
+    order = []
+
+    def sleeper(name):
+        yield sim.timeout(2.0)
+        order.append(name)
+
+    for name in "abc":
+        sim.process(sleeper(name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_timeout_with_external_callback_and_waiter_keeps_order():
+    # Registration order must survive the fast path being demoted: the
+    # process fast-registers first (at t=0), the external callback arrives
+    # at t=1 and demotes the registration — the process must still resume
+    # before the callback runs, exactly as the generic path ordered it.
+    sim = Simulator()
+    order = []
+
+    def waiter(t):
+        got = yield t
+        order.append(("process", got))
+
+    t = sim.timeout(3.0, "val")
+    sim.process(waiter(t))
+    sim.call_in(1.0, t.add_callback,
+                lambda ev: order.append(("callback", ev.value)))
+    sim.run()
+    assert order == [("process", "val"), ("callback", "val")]
+
+
+def test_timeout_cancel_prevents_fire():
+    sim = Simulator()
+    fired = []
+    t = sim.timeout(10.0, "x")
+    t.add_callback(lambda ev: fired.append(ev.value))
+    t.cancel()
+    sim.run()
+    assert fired == []
+    assert not t.triggered
+
+
+def test_timeout_cancel_after_fire_is_noop():
+    sim = Simulator()
+    t = sim.timeout(1.0, "x")
+    sim.run()
+    assert t.triggered
+    t.cancel()  # must not raise or corrupt anything
+    sim.call_in(1.0, lambda: None)
+    sim.run()
+
+
+def test_timeout_cancel_while_process_waits_is_loud():
+    sim = Simulator()
+
+    def sleeper(holder):
+        holder.append(sim.timeout(10.0))
+        yield holder[0]
+
+    holder = []
+    sim.process(sleeper(holder))
+    sim.run(until=1.0)  # let the process register on the timeout
+    with pytest.raises(SimulationError):
+        holder[0].cancel()
+
+
+def test_interrupt_lazily_cancels_pending_timeout():
+    # An interrupted hour-long sleep must not leave its heap entry behind:
+    # the simulation ends at the interrupt, not at the dead timer.
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(3600.0)
+        except Interrupt:
+            pass
+
+    proc = sim.process(sleeper())
+    sim.call_in(2.0, proc.interrupt)
+    end = sim.run()
+    assert end == 2.0  # pre-cancellation kernels dragged this to 3600
+
+
+def test_cancelled_watchdogs_do_not_accumulate_in_heap():
+    # The CI-server pattern: fast work raced against a long watchdog which
+    # is cancelled each round.  Lazy cancellation + compaction must keep
+    # the heap flat instead of hoarding one dead timer per round.
+    sim = Simulator()
+
+    def loop():
+        for _ in range(500):
+            work = sim.timeout(1.0, "done")
+            watchdog = sim.timeout(10_000.0, "timeout")
+            got = yield sim.any_of([work, watchdog])
+            assert "done" in got.values()
+            watchdog.cancel()
+
+    sim.process(loop())
+    peak = 0
+
+    def probe():
+        nonlocal peak
+        peak = max(peak, len(sim._heap))
+        if sim.now < 499.0:
+            sim.call_in(7.0, probe)
+
+    sim.call_in(3.0, probe)
+    sim.run()
+    # every watchdog was cancelled: the run ends when the real work does,
+    # instead of coasting to the last dead timer's fire time
+    assert sim.now == 500.0
+    assert peak < 128
+
+
+def test_cancelled_and_live_timeouts_interleave_correctly():
+    sim = Simulator()
+    seen = []
+    keep = [sim.timeout(float(i), i) for i in range(1, 11)]
+    drop = [sim.timeout(float(i) + 0.5, -i) for i in range(1, 11)]
+    for t in keep:
+        t.add_callback(lambda ev: seen.append(ev.value))
+    for t in drop:
+        t.add_callback(lambda ev: seen.append(ev.value))
+        t.cancel()
+    sim.run()
+    assert seen == list(range(1, 11))
+
+
+def test_peek_sees_instant_queue():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("now")  # schedules the (empty) callback delivery instantly
+    ev.add_callback(lambda e: None)
+    assert sim.peek() == sim.now
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_step_drains_instant_entries_before_advancing():
+    sim = Simulator()
+    order = []
+    sim.call_in(0.0, order.append, "instant")
+    sim.call_in(1.0, order.append, "future")
+    assert sim.step()
+    assert order == ["instant"]
+    assert sim.now == 0.0
+    assert sim.step()
+    assert order == ["instant", "future"]
+    assert sim.now == 1.0
+
+
+def test_zero_delay_timeout_still_fires():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(0.0)
+        seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [0.0]
+
+
+def test_interrupt_between_fire_and_resume_wins():
+    # The timeout fires and the interrupt lands in the same instant, after
+    # the fire: the queued resume is stale and the interrupt must win.
+    sim = Simulator()
+    trace = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1.0)
+            trace.append("timeout")
+        except Interrupt:
+            trace.append("interrupt")
+
+    proc = sim.process(sleeper())
+
+    def fire_interrupt():
+        # runs at t=1.0 *before* the timeout's queued resume drains
+        proc.interrupt()
+
+    sim.call_in(1.0, fire_interrupt)
+    sim.run()
+    assert trace == ["interrupt"]
+
+
+def test_cancel_zero_delay_timeout_prevents_fire():
+    sim = Simulator()
+    fired = []
+    t = sim.timeout(0.0, "x")
+    t.add_callback(lambda ev: fired.append(ev.value))
+    t.cancel()
+    sim.run()
+    assert fired == []
+    assert not t.triggered
+
+
+def test_waiting_on_cancelled_timeout_is_loud():
+    sim = Simulator()
+    t = sim.timeout(10.0)
+    t.cancel()
+    with pytest.raises(SimulationError):
+        t.add_callback(lambda ev: None)
+
+
+def test_rewaiting_timeout_killed_by_interrupt_is_loud():
+    # Interrupting a fast-waiting process retires its timeout; a second
+    # process trying to wait on that timeout later must fail loudly
+    # instead of sleeping forever on a fire that will never come.
+    sim = Simulator()
+
+    def first(t):
+        try:
+            yield t
+        except Interrupt:
+            pass
+
+    def second(t):
+        yield t
+
+    t = sim.timeout(10.0)
+    proc = sim.process(first(t))
+    sim.call_in(1.0, proc.interrupt)
+
+    def late_wait():
+        sim.process(second(t))
+
+    sim.call_in(2.0, late_wait)
+    with pytest.raises(SimulationError):
+        sim.run()
