@@ -1,0 +1,96 @@
+"""S1 — wire-protocol overhead: remote vs in-process scheduling.
+
+Runs the ``bursty-replay`` scenario twice at the same seed — once
+in-process, once through the socket service driven by the bundled
+reference client — and measures the workload throughput of each path
+(submitted jobs per wall-clock second).  The remote path pays one
+synchronous protocol round per scheduler tick with due cells, so the
+ratio is the protocol's end-to-end overhead.
+
+Also asserts the PR's determinism contract on a workload-heavy scenario:
+the remote report is byte-identical (same canonical JSON, same sha256)
+to the in-process one.  Numbers land in
+``benchmarks/results/BENCH_s1_service.json``.
+"""
+
+import hashlib
+import json
+import os
+import time
+
+from repro import run_scenario, scenarios
+from repro.service import ReferenceClient, SimulatorService
+
+from conftest import paper_row, print_table
+
+_RESULTS = os.path.join(os.path.dirname(__file__), "results",
+                        "BENCH_s1_service.json")
+_MONTHS = 0.12  # the horizon the bundled trace was recorded over
+_SCENARIO = "bursty-replay"
+
+
+def _report_hash(doc: dict) -> str:
+    text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def bench_s1_service(benchmark):
+    spec = scenarios.get(_SCENARIO)
+
+    t0 = time.perf_counter()
+    fw, report = run_scenario(spec, seed=0, months=_MONTHS)
+    t_local = time.perf_counter() - t0
+    jobs = fw.workload.submitted
+    local_hash = _report_hash(report.to_dict())
+
+    svc = SimulatorService(port=0).start()
+    try:
+        host, port = svc.address
+        with ReferenceClient(host, port) as client:
+            t0 = time.perf_counter()
+            result = benchmark.pedantic(
+                lambda: client.run_scenario(_SCENARIO, seed=0,
+                                            months=_MONTHS),
+                rounds=1, iterations=1)
+            t_remote = time.perf_counter() - t0
+    finally:
+        svc.stop()
+
+    local_jps = jobs / max(t_local, 1e-9)
+    remote_jps = jobs / max(t_remote, 1e-9)
+    overhead = t_remote / max(t_local, 1e-9)
+
+    rows = [
+        paper_row("workload jobs", "-", jobs),
+        paper_row("in-process (jobs/s)", "-", f"{local_jps:.0f}"),
+        paper_row("remote (jobs/s)", "-", f"{remote_jps:.0f}"),
+        paper_row("protocol rounds (ticks)", "-", result["ticks"]),
+        paper_row("remote/in-process wall", "-", f"{overhead:.2f}x"),
+        paper_row("remote report", "byte-identical",
+                  "yes" if result["sha256"] == local_hash else "NO"),
+    ]
+    print_table("S1: simulator-as-a-service overhead", rows)
+
+    os.makedirs(os.path.dirname(_RESULTS), exist_ok=True)
+    with open(_RESULTS, "w", encoding="utf-8") as fh:
+        json.dump({
+            "id": "s1_service",
+            "metrics": {
+                "workload_jobs": jobs,
+                "inprocess_wall_s": round(t_local, 3),
+                "inprocess_jobs_per_s": round(local_jps, 1),
+                "remote_wall_s": round(t_remote, 3),
+                "remote_jobs_per_s": round(remote_jps, 1),
+                "remote_ticks": result["ticks"],
+                "remote_overhead_x": round(overhead, 2),
+            },
+            "outcome": "passed",
+        }, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    # the acceptance criterion, on the heavier replay scenario
+    assert result["sha256"] == local_hash
+    # localhost protocol rounds are cheap: the remote path must stay in
+    # the same order of magnitude (catches per-decision quadratic work
+    # or an accidental unpipelined chat inside the tick loop)
+    assert remote_jps > local_jps / 10

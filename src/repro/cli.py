@@ -38,7 +38,7 @@ from .oar.traces import TraceReplayConfig
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("run", "report", "compare", "trace")
+_SUBCOMMANDS = ("run", "report", "compare", "trace", "serve", "client")
 
 
 def _parse_seeds(text: str) -> list[int]:
@@ -131,6 +131,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="scenario name to measure the others against")
     cmp_p.add_argument("--significant", action="store_true",
                        help="only show metrics resolved at 95%% confidence")
+
+    serve_p = sub.add_parser(
+        "serve", help="serve the simulator over the wire protocol")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7230,
+                         help="TCP port (0 picks an ephemeral one)")
+    serve_p.add_argument("--store", default=None, metavar="PATH",
+                         help="JSONL campaign store shared by all clients "
+                              "(default: in-memory, lost on exit)")
+
+    client_p = sub.add_parser(
+        "client", help="run a scenario remotely with the reference client")
+    client_p.add_argument("scenario", help="preset name to run")
+    client_p.add_argument("--host", default="127.0.0.1")
+    client_p.add_argument("--port", type=int, default=7230)
+    client_p.add_argument("--seed", type=int, default=0)
+    client_p.add_argument("--months", type=float, default=None,
+                          help="override the scenario's horizon")
+    client_p.add_argument("--json", action="store_true",
+                          help="emit the full report as JSON on stdout "
+                               "(default: the summary + sha256)")
     return parser
 
 
@@ -351,6 +372,41 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import SimulatorService
+    service = SimulatorService(host=args.host, port=args.port,
+                               store=args.store)
+    host, port = service.address
+    store_msg = args.store if args.store else "in-memory (volatile)"
+    print(f"repro-sim serving on {host}:{port} (store: {store_msg}); "
+          f"Ctrl-C to stop", file=sys.stderr)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        service.stop()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .service import ClientError, ReferenceClient
+    try:
+        with ReferenceClient(host=args.host, port=args.port) as client:
+            result = client.run_scenario(args.scenario, seed=args.seed,
+                                         months=args.months)
+    except (OSError, ClientError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result["report"], sort_keys=True, indent=2))
+    else:
+        from .core.campaign import CampaignReport
+        print(CampaignReport.from_dict(result["report"]).summary())
+        print(f"  report sha256: {result['sha256']} "
+              f"({result['ticks']} remote ticks)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _main(argv)
@@ -379,6 +435,10 @@ def _main(argv: Optional[Sequence[str]]) -> int:
         return _cmd_compare(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
     if args.command == "run":
         return _cmd_run(args)
     _build_parser().print_help()

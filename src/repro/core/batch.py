@@ -27,6 +27,7 @@ import atexit
 import math
 import multiprocessing
 import os
+import threading
 import traceback
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, Union
@@ -51,6 +52,13 @@ __all__ = ["CampaignRun", "MetricSummary", "run_campaigns",
 
 _warm_pool: Optional[multiprocessing.pool.Pool] = None
 _warm_pool_size = 0
+#: Serializes warm-pool batches across threads: the campaign service runs
+#: one session per connection thread, and two threads resizing/draining a
+#: shared Pool concurrently is undefined behaviour.  Held for the whole
+#: warm branch of :func:`run_campaigns` (one batch at a time is also the
+#: global dedupe cache's friend: the second identical sweep resumes from
+#: the store instead of racing the first).
+_warm_pool_lock = threading.RLock()
 
 
 def _get_warm_pool(processes: int) -> multiprocessing.pool.Pool:
@@ -70,11 +78,12 @@ def shutdown_worker_pool() -> None:
     processes early (e.g. after the last batch of a long-lived driver).
     """
     global _warm_pool, _warm_pool_size
-    if _warm_pool is not None:
-        _warm_pool.terminate()
-        _warm_pool.join()
-        _warm_pool = None
-        _warm_pool_size = 0
+    with _warm_pool_lock:
+        if _warm_pool is not None:
+            _warm_pool.terminate()
+            _warm_pool.join()
+            _warm_pool = None
+            _warm_pool_size = 0
 
 
 atexit.register(shutdown_worker_pool)
@@ -278,19 +287,21 @@ def run_campaigns(
             # mostly-cached resume batch must reuse the warm pool, not
             # tear it down to fit its two missing cells (idle workers are
             # far cheaper than a pool rebuild).
-            pool = _get_warm_pool(workers)
-            try:
-                # Streaming: archive/report each cell the moment it lands,
-                # in completion order; `runs` reassembles matrix order.
-                for result in pool.imap_unordered(_run_cell, pending,
-                                                  chunksize):
-                    finish(*result)
-            except BaseException:
-                # A broken or abandoned pool (worker killed mid-batch,
-                # KeyboardInterrupt while draining) must not poison the
-                # next call; dispose of it before propagating.
-                shutdown_worker_pool()
-                raise
+            with _warm_pool_lock:
+                pool = _get_warm_pool(workers)
+                try:
+                    # Streaming: archive/report each cell the moment it
+                    # lands, in completion order; `runs` reassembles
+                    # matrix order.
+                    for result in pool.imap_unordered(_run_cell, pending,
+                                                      chunksize):
+                        finish(*result)
+                except BaseException:
+                    # A broken or abandoned pool (worker killed mid-batch,
+                    # KeyboardInterrupt while draining) must not poison
+                    # the next call; dispose of it before propagating.
+                    shutdown_worker_pool()
+                    raise
         else:
             with multiprocessing.Pool(
                     processes=min(workers, len(pending))) as pool:

@@ -208,9 +208,12 @@ def _build_scheduling(b: FrameworkBuild) -> None:
         topology=b.topology, rngs=b.rngs,
     )
     history = b.history
+    strategy_factory = b.extras.get("scheduling_strategy")
     b.scheduler = ExternalScheduler(
         b.sim, b.jenkins, b.oar, b.testbed, b.families, policy=b.spec.policy,
         on_build_done=lambda cell, build: history.record(cell, build),
+        strategy=(strategy_factory(b.spec.policy)
+                  if strategy_factory is not None else None),
     )
 
 
@@ -265,6 +268,7 @@ class FrameworkBuilder:
                           else _DEFAULT).copy()
         self._cluster_specs: Optional[Sequence[ClusterSpec]] = None
         self._families: Optional[Sequence[CheckFamily]] = None
+        self._extras: dict = {}
 
     # -- fluent configuration --------------------------------------------------
 
@@ -294,6 +298,13 @@ class FrameworkBuilder:
         self._registry.register(name, factory)
         return self
 
+    def with_extra(self, name: str, value) -> "FrameworkBuilder":
+        """Seed a ``FrameworkBuild.extras`` entry for the factories to read
+        (e.g. ``scheduling_strategy``: a ``policy -> SchedulingStrategy``
+        factory consumed by the default scheduling stage)."""
+        self._extras[name] = value
+        return self
+
     # -- assembly --------------------------------------------------------------
 
     def build(self):
@@ -311,7 +322,8 @@ class FrameworkBuilder:
             families = [PerNodeVariant(f) if f.kind == "hardware" else f
                         for f in families]
         build = FrameworkBuild(spec=spec, sim=sim, rngs=rngs,
-                               cluster_specs=cluster_specs, families=families)
+                               cluster_specs=cluster_specs, families=families,
+                               extras=dict(self._extras))
         for name in SUBSYSTEM_ORDER:
             self._registry.factory(name)(build)
         framework = TestingFramework(

@@ -142,6 +142,7 @@ def run_scenario(
     cluster_specs: Optional[Sequence[ClusterSpec]] = None,
     families: Optional[Sequence[CheckFamily]] = None,
     on_built: Optional[Callable[[TestingFramework], None]] = None,
+    on_builder: Optional[Callable[[FrameworkBuilder], None]] = None,
 ) -> tuple[TestingFramework, CampaignReport]:
     """Run one campaign described by ``spec``; returns the world + report.
 
@@ -150,7 +151,11 @@ def run_scenario(
     ``families`` are the non-declarative escape hatches forwarded to the
     :class:`FrameworkBuilder`.  ``on_built`` fires with the wired world
     right before it starts — the hook instrumentation (e.g. the workload
-    trace recorder) uses to observe a run from t=0.
+    trace recorder) uses to observe a run from t=0.  ``on_builder`` fires
+    earlier, with the configured builder before assembly — for callers
+    that must swap subsystem factories or seed builder extras (e.g. the
+    service layer's external-protocol scheduling strategy) without
+    rewriting this function's control flow.
     """
     overrides = {}
     if seed is not None:
@@ -164,6 +169,8 @@ def run_scenario(
         builder.with_cluster_specs(cluster_specs)
     if families is not None:
         builder.with_families(families)
+    if on_builder is not None:
+        on_builder(builder)
     fw = builder.build()
     if on_built is not None:
         on_built(fw)

@@ -32,8 +32,9 @@ from ..scenarios.spec import ScenarioSpec
 from ..util.serialization import append_jsonl, content_hash, iter_jsonl
 from .campaign import CampaignReport
 
-__all__ = ["CampaignStore", "StoredCell", "StoreFormatError", "cell_hash",
-           "cell_key", "format_cell_key"]
+__all__ = ["CampaignStore", "StoredCell", "StoreFormatError", "StoreBackend",
+           "JsonlBackend", "MemoryBackend", "cell_hash", "cell_key",
+           "format_cell_key"]
 
 #: Record-format version, bumped on incompatible layout changes.
 _FORMAT = 1
@@ -125,31 +126,90 @@ class StoredCell:
         )
 
 
-class CampaignStore:
-    """Append-only JSONL archive of campaign cells, indexed in memory.
+class StoreBackend:
+    """Durable document transport behind :class:`CampaignStore`.
 
-    Opening a store replays the file into a ``key -> StoredCell`` index
-    (last record wins, so re-running a cell simply supersedes it).  Every
-    :meth:`record` append is durable before it returns — a crashed driver
-    loses at most the cell it was executing, never a finished one.
+    The store owns the indexing, keying and record semantics; a backend
+    only persists raw cell documents — replayed once at open, appended one
+    at a time.  The JSONL file is the default; a sqlite or redis backend
+    slots in here without touching any store caller.
     """
+
+    #: Human-readable location (shown by the CLI and the service).
+    location = "<backend>"
+
+    def load(self) -> Iterator[dict]:
+        """Yield every previously persisted document, oldest first."""
+        raise NotImplementedError
+
+    def append(self, doc: dict) -> None:
+        """Durably persist one document before returning."""
+        raise NotImplementedError
+
+
+class JsonlBackend(StoreBackend):
+    """The historical append-only JSONL file (flush + fsync per record)."""
 
     def __init__(self, path: Union[str, "os.PathLike[str]"]):
         self.path = os.fspath(path)
+        self.location = self.path
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
-        self._cells: dict[str, StoredCell] = {}
+
+    def load(self) -> Iterator[dict]:
         if os.path.exists(self.path):
-            for doc in iter_jsonl(self.path):
-                if not isinstance(doc, dict):
-                    continue  # damaged record: JSON, but not one of ours
-                try:
-                    cell = StoredCell.from_doc(doc)
-                except StoreFormatError:
-                    raise  # a future format must not become silent data loss
-                except (KeyError, TypeError, ValueError):
-                    continue  # field-damaged record loses only itself
-                self._cells[cell.key] = cell
+            yield from iter_jsonl(self.path)
+
+    def append(self, doc: dict) -> None:
+        append_jsonl(self.path, doc)
+
+
+class MemoryBackend(StoreBackend):
+    """Volatile in-process backend (tests, storeless service sessions)."""
+
+    location = "<memory>"
+
+    def __init__(self):
+        self.docs: list[dict] = []
+
+    def load(self) -> Iterator[dict]:
+        return iter(list(self.docs))
+
+    def append(self, doc: dict) -> None:
+        self.docs.append(doc)
+
+
+class CampaignStore:
+    """Append-only archive of campaign cells, indexed in memory.
+
+    Opening a store replays its backend into a ``key -> StoredCell`` index
+    (last record wins, so re-running a cell simply supersedes it).  Every
+    :meth:`record` append is durable before it returns — a crashed driver
+    loses at most the cell it was executing, never a finished one.
+
+    Constructed from a path (JSONL file, the historical behaviour) or any
+    :class:`StoreBackend`.
+    """
+
+    def __init__(self, path_or_backend: Union[str, "os.PathLike[str]",
+                                              StoreBackend]):
+        if isinstance(path_or_backend, StoreBackend):
+            self.backend = path_or_backend
+        else:
+            self.backend = JsonlBackend(path_or_backend)
+        #: Back-compat: the JSONL path, or the backend's display location.
+        self.path = getattr(self.backend, "path", self.backend.location)
+        self._cells: dict[str, StoredCell] = {}
+        for doc in self.backend.load():
+            if not isinstance(doc, dict):
+                continue  # damaged record: JSON, but not one of ours
+            try:
+                cell = StoredCell.from_doc(doc)
+            except StoreFormatError:
+                raise  # a future format must not become silent data loss
+            except (KeyError, TypeError, ValueError):
+                continue  # field-damaged record loses only itself
+            self._cells[cell.key] = cell
 
     # -- queries ---------------------------------------------------------------
 
@@ -180,7 +240,7 @@ class CampaignStore:
 
     def record(self, cell: StoredCell) -> StoredCell:
         """Durably append one finished cell and index it."""
-        append_jsonl(self.path, cell.to_doc())
+        self.backend.append(cell.to_doc())
         self._cells[cell.key] = cell
         return cell
 

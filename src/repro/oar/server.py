@@ -70,6 +70,11 @@ class OarServer:
         self._dirty_nodes: set[str] = set()
         self.full_replan_period_s = 3600.0
         self._next_full_replan = 0.0
+        #: Observation hooks (read-only subscribers, e.g. the service layer's
+        #: GETS counters).  Called after the job's own event succeeds; they
+        #: must not mutate scheduling state.
+        self.on_job_start: list = []
+        self.on_job_complete: list = []
 
     # -- node states -----------------------------------------------------------
 
@@ -338,6 +343,8 @@ class OarServer:
         for uid in job.assigned_nodes:
             self.machines[uid].cpu_load = _BUSY_LOAD
         job.started_event.succeed(job)
+        for hook in self.on_job_start:
+            hook(job)
         generation = job.generation
         if job.auto_duration is not None:
             run_for = min(job.auto_duration, job.walltime_s)
@@ -367,6 +374,8 @@ class OarServer:
         self.gantt.truncate(job.assigned_nodes, job.job_id, self.sim.now)
         self._dirty_nodes.update(job.assigned_nodes)
         job.done_event.succeed(job)
+        for hook in self.on_job_complete:
+            hook(job)
         self._request_replan()
 
     def _request_replan(self) -> None:

@@ -1,14 +1,28 @@
 """External test scheduler: availability-aware triggering with policies."""
 
-from .launcher import ExternalScheduler, TestCell
+from .launcher import ExternalScheduler, TestCell, TickView
 from .pernode import PerNodeVariant, make_pernode_scheduler
-from .policies import Backoff, SchedulerPolicy
+from .policies import (
+    Backoff,
+    DefaultStrategy,
+    SchedulerPolicy,
+    SchedulingStrategy,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
 
 __all__ = [
     "SchedulerPolicy",
     "Backoff",
     "TestCell",
+    "TickView",
     "ExternalScheduler",
+    "SchedulingStrategy",
+    "DefaultStrategy",
+    "register_strategy",
+    "get_strategy",
+    "strategy_names",
     "PerNodeVariant",
     "make_pernode_scheduler",
 ]

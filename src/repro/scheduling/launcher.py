@@ -33,9 +33,10 @@ from ..ci.server import JenkinsServer
 from ..oar.server import OarServer
 from ..testbed.description import TestbedDescription
 from ..util.events import Simulator
-from .policies import Backoff, SchedulerPolicy
+from .policies import Backoff, DefaultStrategy, SchedulerPolicy, \
+    SchedulingStrategy
 
-__all__ = ["TestCell", "ExternalScheduler"]
+__all__ = ["TestCell", "TickView", "ExternalScheduler"]
 
 
 @dataclass(eq=False)
@@ -57,6 +58,56 @@ class TestCell:
         return f"test_{self.family.name}"
 
 
+class TickView:
+    """What a :class:`SchedulingStrategy` sees and does at one tick.
+
+    The view is a thin facade over the scheduler: reads (due cells,
+    availability, per-site concurrency) are live, and ``launch``/``defer``
+    apply immediately — a launch within the tick counts against the site's
+    concurrency for the cells decided after it, exactly as the historical
+    inline loop behaved.
+    """
+
+    __slots__ = ("scheduler", "now")
+
+    def __init__(self, scheduler: "ExternalScheduler"):
+        self.scheduler = scheduler
+        self.now = scheduler.sim.now
+
+    def due_cells(self) -> list[TestCell]:
+        """Cells eligible for an attempt right now, in cell order."""
+        now = self.now
+        return [c for c in self.scheduler.cells
+                if not c.in_flight and c.next_attempt_at <= now]
+
+    def cell_id(self, cell: TestCell) -> int:
+        """Stable identifier of a cell (its index in construction order)."""
+        return self.scheduler.cell_ids[id(cell)]
+
+    def in_flight(self, site: str) -> int:
+        return self.scheduler._in_flight_per_site.get(site, 0)
+
+    def resources_available(self, cell: TestCell) -> bool:
+        return self.scheduler.resources_available(cell)
+
+    def availability(self, cell: TestCell) -> tuple[int, int]:
+        """(alive, free-now) node counts of the cell's target set — the
+        exact numbers :meth:`resources_available` decides on."""
+        return self.scheduler.availability(cell)
+
+    def cluster_states(self) -> list[tuple[str, str, int, int]]:
+        """(cluster, site, alive, free-now) per cluster, testbed order."""
+        return self.scheduler.cluster_states()
+
+    def launch(self, cell: TestCell) -> None:
+        self.scheduler._launch(cell)
+
+    def defer(self, cell: TestCell) -> None:
+        """Blocked attempt: grow the cell's exponential backoff."""
+        cell.blocked_attempts += 1
+        cell.next_attempt_at = self.now + cell.backoff.next_delay()
+
+
 class ExternalScheduler:
     """Availability-aware build launcher over Jenkins + OAR."""
 
@@ -70,6 +121,7 @@ class ExternalScheduler:
         policy: SchedulerPolicy = SchedulerPolicy(),
         tick_s: float = 300.0,
         on_build_done: Optional[Callable[[TestCell, Build], None]] = None,
+        strategy: Optional[SchedulingStrategy] = None,
     ):
         self.sim = sim
         self.jenkins = jenkins
@@ -95,6 +147,11 @@ class ExternalScheduler:
                     family=family, config=config, site=site, cluster=cluster,
                     backoff=Backoff(policy),
                 ))
+        #: id(cell) -> stable cell index (the wire protocol's cell id).
+        self.cell_ids = {id(c): i for i, c in enumerate(self.cells)}
+        self.strategy = strategy if strategy is not None \
+            else DefaultStrategy(policy)
+        self.strategy.bind(self)
         self._running = False
         self._proc = None
 
@@ -124,6 +181,27 @@ class ExternalScheduler:
             return alive > 0 and self._free_alive(uids) == alive
         return self._free_alive(uids) >= int(need)
 
+    def availability(self, cell: TestCell) -> tuple[int, int]:
+        """(alive, free-now) counts over the cell's target node set."""
+        if cell.cluster is not None:
+            uids = self._cluster_nodes[cell.cluster]
+        else:
+            uids = self._site_nodes[cell.site]
+        alive = sum(1 for u in uids if self.oar.node_state(u) == "Alive")
+        return alive, self._free_alive(uids)
+
+    def cluster_states(self) -> list[tuple[str, str, int, int]]:
+        """(cluster, site, alive, free-now) per cluster, in testbed order
+        (the ds-sim-style ``GETS servers`` answer)."""
+        out = []
+        for cluster in self.testbed.iter_clusters():
+            uids = self._cluster_nodes[cluster.uid]
+            alive = sum(1 for u in uids
+                        if self.oar.node_state(u) == "Alive")
+            out.append((cluster.uid, cluster.site, alive,
+                        self._free_alive(uids)))
+        return out
+
     # -- main loop ------------------------------------------------------------
 
     def start(self) -> None:
@@ -145,20 +223,7 @@ class ExternalScheduler:
             yield self.sim.timeout(self.tick_s)
 
     def _tick(self) -> None:
-        now = self.sim.now
-        for cell in self.cells:
-            if cell.in_flight or cell.next_attempt_at > now:
-                continue
-            if not self.policy.allows_now(cell.family.kind, now):
-                continue  # retry next tick; no backoff growth for calendar
-            if self._in_flight_per_site.get(cell.site, 0) >= \
-                    self.policy.max_concurrent_per_site:
-                continue
-            if self.policy.check_resources_first and not self.resources_available(cell):
-                cell.blocked_attempts += 1
-                cell.next_attempt_at = now + cell.backoff.next_delay()
-                continue
-            self._launch(cell)
+        self.strategy.on_tick(TickView(self))
 
     def _launch(self, cell: TestCell) -> None:
         cell.in_flight = True
@@ -181,6 +246,7 @@ class ExternalScheduler:
                       if cell.family.kind == "hardware"
                       else self.policy.software_period_s)
             cell.next_attempt_at = self.sim.now + period
+        self.strategy.on_build_done(cell, build)
         if self.on_build_done is not None:
             self.on_build_done(cell, build)
 

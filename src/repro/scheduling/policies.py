@@ -4,15 +4,36 @@ The external tool "queries the job status and the testbed status, and
 decides to submit a job based on: resources availability, retry policy
 (exponential backoff), additional policies (peak hours, avoid several jobs
 on same site)".  Each policy here is one of those clauses.
+
+Two layers live here:
+
+* :class:`SchedulerPolicy` — the declarative *knobs* (cadences, backoff
+  shape, peak-hour avoidance).  Frozen data, part of
+  :class:`~repro.scenarios.ScenarioSpec`, JSON-serializable.
+* :class:`SchedulingStrategy` — the *decision procedure* that consumes
+  those knobs at every scheduler tick.  A strategy sees the due test
+  cells through a tick view and calls ``launch``/``defer`` on it;
+  :class:`DefaultStrategy` reproduces the paper's availability-aware
+  logic, and alternative strategies (a remote client speaking the wire
+  protocol, future malleable policies) register under a name in
+  :data:`the strategy registry <register_strategy>` and plug into
+  :class:`~repro.scheduling.launcher.ExternalScheduler` unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Type
 
 from ..util.simclock import DAY, HOUR, is_peak_hours
 
-__all__ = ["SchedulerPolicy", "Backoff"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (launcher uses us)
+    from ..ci.job import Build
+    from .launcher import TestCell, TickView
+
+__all__ = ["SchedulerPolicy", "Backoff", "SchedulingStrategy",
+           "DefaultStrategy", "register_strategy", "get_strategy",
+           "strategy_names"]
 
 
 @dataclass(frozen=True)
@@ -67,3 +88,96 @@ class Backoff:
     def reset(self) -> None:
         self._current_s = self._policy.backoff_initial_s
         self.attempts = 0
+
+
+# -- strategy layer ------------------------------------------------------------
+
+
+class SchedulingStrategy:
+    """Decision procedure the external scheduler delegates each tick to.
+
+    A strategy never touches the scheduler directly: it works against a
+    :class:`~repro.scheduling.launcher.TickView`, reading the due cells
+    and testbed availability and calling ``view.launch(cell)`` /
+    ``view.defer(cell)``.  Decisions are applied immediately, in call
+    order — that order is part of the deterministic execution trace, so
+    two strategies making the same calls in the same order produce
+    byte-identical campaigns.
+
+    ``on_build_done`` is a pure observation hook (the scheduler keeps the
+    backoff/cadence bookkeeping itself, identically for every strategy).
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def bind(self, scheduler) -> None:
+        """Called once when the strategy is attached to a scheduler."""
+
+    def on_tick(self, view: "TickView") -> None:
+        """Decide the fate of ``view.due_cells()`` at this instant."""
+        raise NotImplementedError
+
+    def on_build_done(self, cell: "TestCell", build: "Build") -> None:
+        """Observe a finished build (after the scheduler's bookkeeping)."""
+
+
+class DefaultStrategy(SchedulingStrategy):
+    """The paper's in-process policy clauses, verbatim.
+
+    For each due cell, in cell order: skip during peak hours (hardware
+    tests, calendar gate — no backoff growth), skip when the per-site
+    concurrency cap is reached, defer with exponential backoff when the
+    resources are not available right now, otherwise launch.
+    """
+
+    name = "default"
+
+    def __init__(self, policy: SchedulerPolicy):
+        self.policy = policy
+
+    def on_tick(self, view: "TickView") -> None:
+        policy = self.policy
+        now = view.now
+        for cell in view.due_cells():
+            if not policy.allows_now(cell.family.kind, now):
+                continue  # retry next tick; no backoff growth for calendar
+            if view.in_flight(cell.site) >= policy.max_concurrent_per_site:
+                continue
+            if policy.check_resources_first \
+                    and not view.resources_available(cell):
+                view.defer(cell)
+                continue
+            view.launch(cell)
+
+
+_STRATEGIES: dict[str, Type[SchedulingStrategy]] = {}
+
+
+def register_strategy(cls: Type[SchedulingStrategy]
+                      ) -> Type[SchedulingStrategy]:
+    """Register a strategy class under its ``name`` (usable as decorator).
+
+    Re-registering a name replaces the previous class (mirrors the
+    subsystem registry's swap semantics)."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"{cls.__name__} needs a non-abstract 'name'")
+    _STRATEGIES[cls.name] = cls
+    return cls
+
+
+def get_strategy(name: str) -> Type[SchedulingStrategy]:
+    """Look a strategy class up by name (KeyError lists the known names)."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduling strategy: {name!r}; known strategies: "
+            f"{', '.join(strategy_names())}") from None
+
+
+def strategy_names() -> list[str]:
+    return sorted(_STRATEGIES)
+
+
+register_strategy(DefaultStrategy)

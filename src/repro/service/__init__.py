@@ -1,0 +1,42 @@
+"""Simulator-as-a-service: drive campaigns from another process.
+
+Layers, bottom up:
+
+* :mod:`~repro.service.protocol` — the versioned line codec (verbs,
+  arities, ``DATA`` framing, typed errors);
+* :mod:`~repro.service.session` — the per-connection state machine that
+  bridges protocol messages into the event kernel;
+* :mod:`~repro.service.policy` — ``ExternalProtocolStrategy``, the
+  adapter registered as a regular scheduling strategy;
+* :mod:`~repro.service.campaign` — the deduplicating matrix runner over
+  a shared :class:`~repro.core.store.CampaignStore`;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the TCP
+  service and the bundled reference client.
+
+See the README's "Driving the simulator from another process" section
+for the verb table and the determinism contract.
+"""
+
+from .campaign import CampaignService
+from .client import ClientError, ReferenceClient
+from .policy import ExternalProtocolStrategy
+from .protocol import PROTOCOL_VERSION, Message, ProtocolError, decode, encode
+from .server import SimulatorService
+from .session import Session, SessionClosed, SocketTransport, Transport
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Message",
+    "ProtocolError",
+    "encode",
+    "decode",
+    "Session",
+    "SessionClosed",
+    "Transport",
+    "SocketTransport",
+    "ExternalProtocolStrategy",
+    "CampaignService",
+    "SimulatorService",
+    "ReferenceClient",
+    "ClientError",
+]

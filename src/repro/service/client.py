@@ -1,0 +1,239 @@
+"""The bundled reference client: the paper's policy over the wire.
+
+This client speaks *only* the line protocol — it never imports simulator
+internals, and its scheduling arithmetic is self-contained, so it doubles
+as executable documentation for a client in any language.  It mirrors
+:class:`~repro.scheduling.policies.DefaultStrategy` exactly:
+
+* fetch the policy knobs once (``GETS policy``);
+* for every ``TICK``, walk the ``JOBN`` cells **in presentation order**:
+  skip hardware cells during peak hours, skip cells whose site already
+  carries the concurrency cap (tick-start count from the JOBN line plus
+  this round's own launches), ``DEFR`` cells whose resources do not fit,
+  ``SCHD`` the rest (best fit is trivial here: the cell pins its target
+  cluster/site, so fitting equals launching — the ds-sim client's
+  first-fit-capable loop reduces to the availability test);
+* ``REDY`` when the round is decided.
+
+Following presentation order is the client half of the determinism
+contract; the server half freezes simulated time during the round.  The
+resulting report is byte-identical to an in-process run at the same seed
+(``verify_hash`` checks the sha256 the server advertises).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+from typing import Optional
+
+from .protocol import MAX_LINE_BYTES, PROTOCOL_VERSION, Message, decode, encode
+
+__all__ = ["ReferenceClient", "ClientError"]
+
+_DAY = 86400.0
+_HOUR = 3600.0
+#: t=0 is Wednesday 2017-02-01 (mirrors repro.util.simclock).
+_EPOCH_WEEKDAY = 2
+
+
+def _is_peak_hours(t: float) -> bool:
+    """Self-contained mirror of ``repro.util.simclock.is_peak_hours``."""
+    dow = (int(t // _DAY) + _EPOCH_WEEKDAY) % 7
+    hod = (t % _DAY) / _HOUR
+    return dow < 5 and 9.0 <= hod < 19.0
+
+
+class ClientError(Exception):
+    """The server answered ERR (or broke protocol)."""
+
+
+class _Job:
+    """One JOBN line, parsed."""
+
+    __slots__ = ("cell", "kind", "site", "cluster", "need", "site_inflight",
+                 "alive", "free", "runs", "blocked")
+
+    def __init__(self, args: tuple):
+        (self.cell, self.kind, self.site, cluster, self.need,
+         site_inflight, alive, free, runs, blocked) = args
+        self.cluster = None if cluster == "-" else cluster
+        self.site_inflight = int(site_inflight)
+        self.alive = int(alive)
+        self.free = int(free)
+        self.runs = int(runs)
+        self.blocked = int(blocked)
+
+    def fits(self) -> bool:
+        if self.need == "0":
+            return True
+        if self.need == "ALL":
+            return self.alive > 0 and self.free == self.alive
+        return self.free >= int(self.need)
+
+
+class ReferenceClient:
+    """Drive campaigns over a socket; context-manager friendly."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 name: str = "refclient", timeout_s: float = 300.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout_s)
+        try:
+            # Mirror the server: tiny lines must not sit in Nagle's buffer
+            # waiting for the peer's delayed ACK.
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self._rfile = self.sock.makefile("rb")
+        self.policy: Optional[dict] = None
+        self._send("HELO", PROTOCOL_VERSION, name)
+        self._expect("OK")
+
+    # -- wire plumbing ---------------------------------------------------------
+
+    def _send(self, verb: str, *args: object) -> None:
+        self.sock.sendall(encode(verb, *args).encode("utf-8") + b"\n")
+
+    def _recv(self) -> Message:
+        raw = self._rfile.readline(MAX_LINE_BYTES + 2)
+        if not raw:
+            raise ClientError("server closed the connection")
+        return decode(raw.decode("utf-8").rstrip("\r\n"))
+
+    def _expect(self, verb: str) -> Message:
+        msg = self._recv()
+        if msg.verb == "ERR":
+            raise ClientError(" ".join(msg.args))
+        if msg.verb != verb:
+            raise ClientError(f"expected {verb}, got {msg.verb}")
+        return msg
+
+    def _read_data_block(self) -> list[str]:
+        header = self._expect("DATA")
+        count = int(header.args[0])
+        lines = []
+        for _ in range(count):
+            raw = self._rfile.readline(MAX_LINE_BYTES + 2)
+            if not raw:
+                raise ClientError("EOF inside DATA block")
+            lines.append(raw.decode("utf-8").rstrip("\r\n"))
+        self._expect(".")
+        return lines
+
+    # -- the scheduling loop ---------------------------------------------------
+
+    def run_scenario(self, scenario: str, seed: int = 0,
+                     months: Optional[float] = None) -> dict:
+        """Drive one campaign; returns ``{"sha256":…, "report":…, …}``."""
+        self._send("RUN", scenario, seed,
+                   repr(float(months)) if months is not None else "-")
+        ticks = completions = 0
+        while True:
+            msg = self._recv()
+            if msg.verb == "TICK":
+                ticks += 1
+                completions += self._round(msg)
+            elif msg.verb == "DONE":
+                break
+            elif msg.verb == "ERR":
+                raise ClientError(" ".join(msg.args))
+            else:
+                raise ClientError(f"unexpected {msg.verb} during run")
+        sha, report = self.fetch_report()
+        return {"scenario": scenario, "seed": seed, "months": months,
+                "ticks": ticks, "completions": completions,
+                "sha256": sha, "report": report}
+
+    def _round(self, tick: Message) -> int:
+        now = float(tick.args[0])
+        n_jcpl, n_jobn = int(tick.args[1]), int(tick.args[2])
+        for _ in range(n_jcpl):
+            self._expect("JCPL")
+        jobs = [_Job(self._expect("JOBN").args) for _ in range(n_jobn)]
+        if self.policy is None:
+            self._send("GETS", "policy")
+            self.policy = json.loads(self._read_data_block()[0])
+        launched: dict[str, int] = {}  # this round's own launches per site
+        sent = 0
+        for job in jobs:
+            action = self._decide(now, job, launched)
+            if action is not None:
+                self._send(action, job.cell)
+                sent += 1
+        self._send("REDY")
+        for _ in range(sent + 1):  # pipelined: one OK per decision + REDY's
+            self._expect("OK")
+        return n_jcpl
+
+    def _decide(self, now: float, job: _Job,
+                launched: dict) -> Optional[str]:
+        """DefaultStrategy, reconstructed from wire data alone."""
+        policy = self.policy
+        if (job.kind == "hardware"
+                and policy["avoid_peak_hours_for_hardware"]
+                and _is_peak_hours(now)):
+            return None  # calendar gate: retry next tick, no backoff
+        if (job.site_inflight + launched.get(job.site, 0)
+                >= policy["max_concurrent_per_site"]):
+            return None
+        if policy["check_resources_first"] and not job.fits():
+            return "DEFR"
+        launched[job.site] = launched.get(job.site, 0) + 1
+        return "SCHD"
+
+    # -- results + campaigns ---------------------------------------------------
+
+    def fetch_report(self) -> tuple[str, dict]:
+        """RPRT: the last run's report, hash-verified end to end."""
+        self._send("RPRT")
+        advertised = self._expect("RPRT").args[0]
+        body = self._read_data_block()[0]
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        if digest != advertised:
+            raise ClientError(
+                f"report hash mismatch: server said {advertised}, "
+                f"body hashes to {digest}")
+        return digest, json.loads(body)
+
+    def submit_campaign(self, scenarios: list, seeds: list,
+                        months: Optional[float] = None,
+                        workers: int = 1) -> list[tuple]:
+        """SUBM a matrix; returns ``(scenario, seed, status)`` per cell."""
+        doc = {"scenarios": scenarios, "seeds": seeds, "workers": workers}
+        if months is not None:
+            doc["months"] = months
+        self._send("SUBM", json.dumps(doc))
+        cells = []
+        while True:
+            msg = self._recv()
+            if msg.verb == "CELL":
+                scenario, seed, status, _, _ = msg.args
+                cells.append((scenario, int(seed), status))
+            elif msg.verb == "DONE":
+                return cells
+            elif msg.verb == "ERR":
+                raise ClientError(" ".join(msg.args))
+            else:
+                raise ClientError(f"unexpected {msg.verb} during SUBM")
+
+    def compare(self, baseline: str) -> dict:
+        """CMPR: per-metric deltas of stored scenarios vs a baseline."""
+        self._send("CMPR", baseline)
+        return json.loads(self._read_data_block()[0])
+
+    def close(self) -> None:
+        try:
+            self._send("QUIT")
+            self._expect("OK")
+        except (OSError, ClientError):
+            pass
+        finally:
+            self._rfile.close()
+            self.sock.close()
+
+    def __enter__(self) -> "ReferenceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

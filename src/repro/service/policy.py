@@ -1,0 +1,70 @@
+"""``ExternalProtocolStrategy``: the wire protocol as a scheduling policy.
+
+This is the bridge between the deterministic event kernel and a remote
+scheduler.  It registers in the ordinary strategy registry, so from the
+simulator's point of view a remote client is just another
+:class:`~repro.scheduling.policies.SchedulingStrategy` — the launcher,
+builder and campaign code are oblivious to the socket underneath.
+
+Determinism argument, spelled out once:
+
+* ``on_tick`` runs inside the scheduler's tick callback.  The blocking
+  protocol exchange happens *before* the callback returns, so no other
+  simulation event can fire while the client deliberates — the simulated
+  clock is frozen exactly as it is for the in-process strategy.
+* ``view.launch``/``view.defer`` are applied in message-arrival order.
+  A client that decides cells in the presented (JOBN) order therefore
+  reproduces the in-process decision sequence bit for bit.
+* Launching a build only enqueues instant-queue work processed after the
+  tick returns; availability numbers snapshotted into the JOBN lines
+  stay valid for the whole round.
+
+Build completions are buffered here and flushed as ``JCPL`` lines at the
+start of the next round — they are informational (the scheduler's own
+bookkeeping already handled backoff and cadence) and so may lag without
+affecting behaviour.
+"""
+
+from __future__ import annotations
+
+from ..scheduling.policies import (
+    SchedulerPolicy,
+    SchedulingStrategy,
+    register_strategy,
+)
+
+__all__ = ["ExternalProtocolStrategy"]
+
+
+@register_strategy
+class ExternalProtocolStrategy(SchedulingStrategy):
+    """Delegate every tick's decisions to a protocol session."""
+
+    name = "external-protocol"
+
+    def __init__(self, policy: SchedulerPolicy, session):
+        self.policy = policy
+        self.session = session
+        self._scheduler = None
+        #: (completion time, cell id, build status) since the last round.
+        self._completions: list[tuple[float, int, str]] = []
+
+    def bind(self, scheduler) -> None:
+        self._scheduler = scheduler
+
+    def on_tick(self, view) -> None:
+        due = view.due_cells()
+        if not due:
+            # Nothing to decide: skip the round-trip entirely.  Ticks with
+            # no due cells are no-ops for every strategy, so eliding them
+            # cannot change behaviour — only wire traffic.
+            return
+        completions, self._completions = self._completions, []
+        self.session.decision_round(view, due, completions)
+
+    def on_build_done(self, cell, build) -> None:
+        self._completions.append((
+            self._scheduler.sim.now,
+            self._scheduler.cell_ids[id(cell)],
+            build.status.name,
+        ))

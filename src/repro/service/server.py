@@ -1,0 +1,95 @@
+"""The simulator service: one TCP socket, one session per connection.
+
+Each accepted connection gets its own thread and :class:`Session`; the
+sessions share a single :class:`CampaignService` (and thus one dedupe
+store).  ``RUN`` campaigns are fully connection-local — each builds its
+own simulated world — so concurrent clients never contend on simulator
+state, only on the campaign store's lock.
+
+``port=0`` binds an ephemeral port (tests); :attr:`address` reports the
+bound endpoint either way.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Optional
+
+from .campaign import CampaignService
+from .session import Session, SocketTransport
+
+__all__ = ["SimulatorService"]
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        self.request.settimeout(self.server.session_timeout_s)
+        transport = SocketTransport(self.request)
+        Session(transport, campaigns=self.server.campaigns,
+                server_name=self.server.server_name).serve()
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class SimulatorService:
+    """Lifecycle wrapper: bind, serve (blocking or background), stop."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 store=None, name: str = "repro-sim",
+                 session_timeout_s: float = 300.0):
+        self._server = _ThreadingServer((host, port), _Handler)
+        self._server.campaigns = CampaignService(store)
+        self._server.server_name = name
+        self._server.session_timeout_s = session_timeout_s
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def campaigns(self) -> CampaignService:
+        return self._server.campaigns
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` to the real one."""
+        return self._server.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop`."""
+        self._server.serve_forever(poll_interval=0.2)
+
+    def start(self) -> "SimulatorService":
+        """Serve on a daemon thread; returns self (for chaining in tests)."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="repro-sim-service", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "SimulatorService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def wait_until_ready(host: str, port: int, timeout_s: float = 10.0) -> bool:
+    """Poll until the service accepts connections (CI readiness gate)."""
+    import time
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                return True
+        except OSError:
+            time.sleep(0.05)
+    return False

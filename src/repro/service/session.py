@@ -1,0 +1,390 @@
+"""Per-connection protocol session: state machine + transports.
+
+One :class:`Session` serves one client connection.  Its lifecycle::
+
+    AWAIT_HELO --HELO--> IDLE --RUN/SUBM--> (streaming) --> IDLE --QUIT
+
+``RUN`` is the interesting state: the session executes a full campaign
+*inside* the handler, and the simulated clock only advances between
+protocol exchanges — every scheduler tick with due cells blocks on the
+socket until the client has decided each one (``SCHD``/``DEFR``) and sent
+``REDY``.  That synchronous bridge is what makes a remote scheduler
+byte-identical to the in-process one: no sim event fires while a decision
+is pending, and decisions apply in arrival order.
+
+Malformed input never kills the server: codec errors and ill-timed verbs
+are answered with ``ERR <code> <reason>`` and the session keeps reading.
+Only EOF/timeouts (:class:`SessionClosed`) and ``QUIT`` end it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+from dataclasses import asdict
+from typing import Optional
+
+from .. import scenarios
+from ..analysis.compare import compare_runs
+from ..core.campaign import run_scenario
+from ..util.serialization import canonical_json, encode_dataclass
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    Message,
+    ProtocolError,
+    decode,
+    encode,
+    format_time_arg,
+)
+
+__all__ = ["Session", "SessionClosed", "Transport", "SocketTransport"]
+
+
+class SessionClosed(Exception):
+    """The peer went away (EOF, timeout, or QUIT): unwind silently."""
+
+
+class Transport:
+    """One line in, one line out.  Sessions never touch sockets directly,
+    so tests drive the full state machine through a scripted transport."""
+
+    def send_line(self, line: str) -> None:
+        raise NotImplementedError
+
+    def recv_line(self) -> str:
+        """Next line without its newline; raises SessionClosed on EOF."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class SocketTransport(Transport):
+    """Buffered line framing over a TCP socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        try:
+            # The protocol is many tiny request/response lines per tick;
+            # Nagle + delayed ACK would add ~40ms to every exchange.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # non-TCP transports (unix sockets, socketpairs)
+        self._rfile = sock.makefile("rb")
+
+    def send_line(self, line: str) -> None:
+        try:
+            self.sock.sendall(line.encode("utf-8") + b"\n")
+        except OSError:
+            raise SessionClosed("send failed") from None
+
+    def recv_line(self) -> str:
+        try:
+            raw = self._rfile.readline(MAX_LINE_BYTES + 2)
+        except (OSError, ValueError):
+            raise SessionClosed("recv failed") from None
+        if not raw:
+            raise SessionClosed("EOF")
+        if len(raw) > MAX_LINE_BYTES:
+            # Poison line: report once, then drop the peer (resynchronizing
+            # inside an oversized line is guesswork).
+            raise ProtocolError("proto",
+                                f"line exceeds {MAX_LINE_BYTES} bytes")
+        return raw.decode("utf-8", errors="replace").rstrip("\r\n")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _RunState:
+    """Session state scoped to one RUN: JCPL buffer + GETS counters."""
+
+    __slots__ = ("oar_started", "oar_completed", "ticks", "decided")
+
+    def __init__(self):
+        self.oar_started = 0
+        self.oar_completed = 0
+        self.ticks = 0
+        self.decided = 0
+
+
+class Session:
+    """The protocol state machine for one connection."""
+
+    def __init__(self, transport: Transport, campaigns=None,
+                 server_name: str = "repro-sim"):
+        self.transport = transport
+        self.campaigns = campaigns
+        self.server_name = server_name
+        self.greeted = False
+        self.client_name = "?"
+        self._run: Optional[_RunState] = None
+        self._last_report = None
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send(self, verb: str, *args: object) -> None:
+        self.transport.send_line(encode(verb, *args))
+
+    def _err(self, exc: ProtocolError) -> None:
+        self._send("ERR", exc.code, *exc.message.split())
+
+    def _data_block(self, lines: list[str]) -> None:
+        self._send("DATA", len(lines))
+        for line in lines:
+            self.transport.send_line(line)
+        self._send(".")
+
+    def _recv(self) -> Message:
+        """Next well-formed message; malformed lines are ERRed in place."""
+        while True:
+            try:
+                return decode(self.transport.recv_line())
+            except ProtocolError as exc:
+                self._err(exc)
+                if exc.code == "proto" and "exceeds" in exc.message:
+                    raise SessionClosed("oversized line") from None
+
+    # -- main loop -------------------------------------------------------------
+
+    def serve(self) -> None:
+        """Serve until QUIT or disconnect.  Never raises on bad input."""
+        try:
+            while True:
+                msg = self._recv()
+                try:
+                    if not self._dispatch(msg):
+                        return
+                except ProtocolError as exc:
+                    self._err(exc)
+        except SessionClosed:
+            return
+        finally:
+            self.transport.close()
+
+    def _dispatch(self, msg: Message) -> bool:
+        verb = msg.verb
+        if not self.greeted:
+            if verb != "HELO":
+                raise ProtocolError("state", "HELO first")
+            return self._do_helo(msg)
+        if verb == "HELO":
+            raise ProtocolError("state", "already greeted")
+        if verb == "QUIT":
+            self._send("OK", "bye")
+            return False
+        if verb == "RUN":
+            self._do_run(msg)
+        elif verb == "SUBM":
+            self._do_subm(msg)
+        elif verb == "RPRT":
+            self._do_rprt(msg)
+        elif verb == "CMPR":
+            self._do_cmpr(msg)
+        elif verb in ("GETS", "SCHD", "DEFR", "REDY"):
+            raise ProtocolError("state", f"{verb} only valid inside a run")
+        else:  # a server->client verb echoed back at us
+            raise ProtocolError("state", f"unexpected {verb}")
+        return True
+
+    def _do_helo(self, msg: Message) -> bool:
+        if msg.args[0] != PROTOCOL_VERSION:
+            raise ProtocolError(
+                "proto", f"version mismatch: server speaks "
+                f"{PROTOCOL_VERSION}, client offered {msg.args[0]}")
+        self.greeted = True
+        if len(msg.args) > 1:
+            self.client_name = msg.args[1]
+        self._send("OK", PROTOCOL_VERSION, self.server_name)
+        return True
+
+    # -- RUN: one remotely-scheduled campaign ----------------------------------
+
+    def _do_run(self, msg: Message) -> None:
+        from .policy import ExternalProtocolStrategy  # cycle guard
+
+        name, seed_text, months_text = msg.args
+        try:
+            spec = scenarios.get(name)
+        except KeyError:
+            raise ProtocolError("arg", f"unknown scenario {name!r}") from None
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise ProtocolError("arg", f"bad seed {seed_text!r}") from None
+        months: Optional[float] = None
+        if months_text != "-":
+            try:
+                months = float(months_text)
+            except ValueError:
+                raise ProtocolError("arg",
+                                    f"bad months {months_text!r}") from None
+            if not months > 0:
+                raise ProtocolError("arg", "months must be positive")
+
+        self._run = run = _RunState()
+
+        def on_builder(builder):
+            builder.with_extra(
+                "scheduling_strategy",
+                lambda policy: ExternalProtocolStrategy(policy, self))
+
+        def on_built(fw):
+            fw.oar.on_job_start.append(lambda job: _count(run, "oar_started"))
+            fw.oar.on_job_complete.append(
+                lambda job: _count(run, "oar_completed"))
+
+        try:
+            _, report = run_scenario(spec, seed=seed, months=months,
+                                     on_built=on_built, on_builder=on_builder)
+        except (SessionClosed, ProtocolError):
+            raise
+        except Exception as exc:  # a sim bug must not take the server down
+            raise ProtocolError("run", f"campaign failed: {exc!r}") from exc
+        finally:
+            self._run = None
+        self._last_report = report
+        self._send("DONE", "run", name, f"seed={seed}",
+                   f"ticks={run.ticks}", f"decisions={run.decided}")
+
+    def decision_round(self, view, due, completions) -> None:
+        """One scheduler tick, negotiated over the wire.
+
+        Called from inside the event kernel (via the strategy) whenever
+        cells are due.  Sim time is frozen until the client sends REDY.
+        """
+        run = self._run
+        assert run is not None
+        run.ticks += 1
+        now = view.now
+        self._send("TICK", format_time_arg(now), len(completions), len(due))
+        for (t, cell_id, status) in completions:
+            self._send("JCPL", format_time_arg(t), cell_id, status)
+        undecided = {}
+        for cell in due:
+            cid = view.cell_id(cell)
+            undecided[str(cid)] = cell
+            alive, free = view.availability(cell)
+            self._send("JOBN", cid, cell.family.kind, cell.site,
+                       cell.cluster if cell.cluster is not None else "-",
+                       cell.family.nodes_needed, view.in_flight(cell.site),
+                       alive, free, cell.runs, cell.blocked_attempts)
+        while True:
+            msg = self._recv()
+            verb = msg.verb
+            try:
+                if verb == "REDY":
+                    run.decided += len(due) - len(undecided)
+                    self._send("OK", "tick", "complete")
+                    return
+                if verb in ("SCHD", "DEFR"):
+                    cell = undecided.pop(msg.args[0], None)
+                    if cell is None:
+                        raise ProtocolError(
+                            "arg", f"cell {msg.args[0]} not due (or already "
+                            f"decided) this tick")
+                    if verb == "SCHD":
+                        view.launch(cell)
+                    else:
+                        view.defer(cell)
+                    self._send("OK", verb.lower(), msg.args[0])
+                elif verb == "GETS":
+                    self._do_gets(msg, view)
+                elif verb == "QUIT":
+                    self._send("OK", "bye")
+                    raise SessionClosed("client quit mid-run")
+                else:
+                    raise ProtocolError("state",
+                                        f"{verb} not valid inside a tick")
+            except ProtocolError as exc:
+                self._err(exc)
+
+    def _do_gets(self, msg: Message, view) -> None:
+        what = msg.args[0]
+        if what == "servers":
+            self._data_block([f"{cluster} {site} {alive} {free}"
+                              for (cluster, site, alive, free)
+                              in view.cluster_states()])
+        elif what == "jobs":
+            run = self._run
+            oar = view.scheduler.oar
+            doc = {
+                "running": len(oar.running_jobs()),
+                "waiting": oar.waiting_count(),
+                "oar_started": run.oar_started,
+                "oar_completed": run.oar_completed,
+                "builds_in_flight": sum(
+                    1 for c in view.scheduler.cells if c.in_flight),
+            }
+            self._data_block([canonical_json(doc)])
+        elif what == "policy":
+            policy = view.scheduler.policy
+            self._data_block([canonical_json(encode_dataclass(policy))])
+        else:
+            raise ProtocolError(
+                "arg", f"GETS knows servers|jobs|policy, not {what!r}")
+
+    # -- campaign service ------------------------------------------------------
+
+    def _do_subm(self, msg: Message) -> None:
+        if self.campaigns is None:
+            raise ProtocolError("state", "no campaign service attached")
+        try:
+            doc = json.loads(msg.args[0])
+        except ValueError:
+            raise ProtocolError("arg", "SUBM payload is not JSON") from None
+
+        def on_cell(run, cached, index, total):
+            status = "cached" if cached else ("ok" if run.ok else "failed")
+            self._send("CELL", run.scenario, run.seed, status, index, total)
+
+        try:
+            runs = self.campaigns.run_matrix(doc, on_cell=on_cell)
+        except (SessionClosed, ProtocolError):
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError("arg", f"bad matrix: {exc}") from exc
+        ok = sum(1 for r in runs if r.ok)
+        self._send("DONE", "subm", f"cells={len(runs)}",
+                   f"ok={ok}", f"failed={len(runs) - ok}")
+
+    def _do_rprt(self, msg: Message) -> None:
+        if msg.args and msg.args[0] == "store":
+            if self.campaigns is None:
+                raise ProtocolError("state", "no campaign service attached")
+            docs = self.campaigns.stored_runs()
+            self._send("RPRT", _sha256(canonical_json(docs)))
+            self._data_block([canonical_json(doc) for doc in docs])
+            return
+        if self._last_report is None:
+            raise ProtocolError("state", "no report yet (RUN first)")
+        body = canonical_json(self._last_report.to_dict())
+        self._send("RPRT", _sha256(body))
+        self._data_block([body])
+
+    def _do_cmpr(self, msg: Message) -> None:
+        if self.campaigns is None:
+            raise ProtocolError("state", "no campaign service attached")
+        baseline = msg.args[0]
+        runs = [r for r in self.campaigns.store.runs() if r.ok]
+        try:
+            deltas = compare_runs(runs, baseline=baseline)
+        except (KeyError, ValueError) as exc:
+            raise ProtocolError("arg", str(exc.args[0])) from None
+        doc = {scenario: [asdict(d) for d in metric_deltas]
+               for scenario, metric_deltas in deltas.items()}
+        self._data_block([canonical_json(doc)])
+
+
+def _count(run: _RunState, field: str) -> None:
+    setattr(run, field, getattr(run, field) + 1)
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

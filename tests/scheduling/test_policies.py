@@ -54,3 +54,55 @@ def test_hardware_avoids_peak_hours():
 def test_peak_hours_policy_can_be_disabled():
     policy = SchedulerPolicy(avoid_peak_hours_for_hardware=False)
     assert policy.allows_now("hardware", 12 * HOUR)
+
+
+# -- strategy layer -----------------------------------------------------------
+
+
+def test_registry_knows_builtin_strategies():
+    from repro.scheduling import (DefaultStrategy, get_strategy,
+                                  strategy_names)
+    import repro.service  # noqa: F401  (registers external-protocol)
+    assert get_strategy("default") is DefaultStrategy
+    names = strategy_names()
+    assert "default" in names and "external-protocol" in names
+
+
+def test_unknown_strategy_error_lists_known_names():
+    from repro.scheduling import get_strategy
+    with pytest.raises(KeyError, match="default"):
+        get_strategy("no-such-strategy")
+
+
+def test_register_rejects_abstract_names():
+    from repro.scheduling import SchedulingStrategy, register_strategy
+
+    class Nameless(SchedulingStrategy):
+        pass
+
+    with pytest.raises(ValueError):
+        register_strategy(Nameless)
+
+
+def test_explicit_default_strategy_is_behaviour_identical():
+    """The strategy extraction is a pure refactor: injecting
+    DefaultStrategy through the builder extra produces the byte-identical
+    report of the implicit default."""
+    import hashlib
+    import json
+
+    from repro import run_scenario, scenarios
+    from repro.scheduling import DefaultStrategy
+
+    def report_hash(report):
+        doc = json.dumps(report.to_dict(), sort_keys=True,
+                         separators=(",", ":"))
+        return hashlib.sha256(doc.encode()).hexdigest()
+
+    spec = scenarios.get("tiny-smoke")
+    _, implicit = run_scenario(spec, seed=5, months=0.05)
+    _, explicit = run_scenario(
+        spec, seed=5, months=0.05,
+        on_builder=lambda b: b.with_extra(
+            "scheduling_strategy", lambda policy: DefaultStrategy(policy)))
+    assert report_hash(implicit) == report_hash(explicit)

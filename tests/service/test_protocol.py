@@ -1,0 +1,112 @@
+"""Codec tests: round-trip every verb + the malformed-input table."""
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    Message,
+    ProtocolError,
+    decode,
+    encode,
+    format_time_arg,
+    parse_time_arg,
+)
+
+#: One representative, arity-valid message per verb in the vocabulary.
+EVERY_VERB = [
+    ("HELO", (PROTOCOL_VERSION, "refclient")),
+    ("HELO", (PROTOCOL_VERSION,)),
+    ("RUN", ("tiny-smoke", "0", "0.35")),
+    ("GETS", ("servers",)),
+    ("SCHD", ("17",)),
+    ("DEFR", ("4",)),
+    ("REDY", ()),
+    ("SUBM", ('{"scenarios": ["tiny-smoke"], "seeds": [0, 1]}',)),
+    ("RPRT", ()),
+    ("RPRT", ("store",)),
+    ("CMPR", ("paper-baseline",)),
+    ("QUIT", ()),
+    ("OK", ("tick", "complete")),
+    ("OK", ()),
+    ("ERR", ("arg", "unknown", "scenario")),
+    ("TICK", ("432000.0", "2", "5")),
+    ("JCPL", ("431700.5", "3", "SUCCESS")),
+    ("JOBN", ("3", "hardware", "nancy", "graphene", "ALL",
+              "0", "39", "12", "2", "1")),
+    ("DATA", ("3",)),
+    ("CELL", ("tiny-smoke", "0", "cached", "1", "4")),
+    ("DONE", ("run", "tiny-smoke", "seed=0")),
+    ("DONE", ()),
+    (".", ()),
+]
+
+
+@pytest.mark.parametrize("verb,args", EVERY_VERB,
+                         ids=[f"{v}/{len(a)}" for v, a in EVERY_VERB])
+def test_every_verb_round_trips(verb, args):
+    line = encode(verb, *args)
+    msg = decode(line)
+    assert msg == Message(verb, tuple(args))
+    # idempotent: re-encoding the decoded message is byte-stable
+    assert encode(msg.verb, *msg.args) == line
+
+
+def test_rawtail_verb_preserves_spaces():
+    payload = '{"scenarios": ["a", "b"], "seeds": [0, 1, 2]}'
+    msg = decode(encode("SUBM", payload))
+    assert msg.args == (payload,)
+
+
+def test_timestamps_round_trip_exactly():
+    for t in (0.0, 300.0, 1234567.890123456, 0.1 + 0.2):
+        assert parse_time_arg(format_time_arg(t)) == t
+
+
+MALFORMED = [
+    ("", "proto"),                       # empty line
+    ("   ", "proto"),                    # whitespace only
+    ("BOGUS 1 2", "verb"),               # unknown verb
+    ("helo repro-sim-1", "verb"),        # verbs are case-sensitive
+    ("SCHD", "arity"),                   # truncated: missing the cell id
+    ("SCHD 1 2", "arity"),               # too many args
+    ("RUN tiny-smoke 0", "arity"),       # truncated RUN
+    ("REDY now", "arity"),               # REDY takes nothing
+    ("TICK 1.0 2", "arity"),             # truncated TICK
+    ("JOBN 1 hardware nancy", "arity"),  # truncated JOBN
+    ("SUBM", "arity"),                   # rawtail verb with empty tail
+    (". done", "arity"),                 # terminator takes nothing
+    ("ERR", "arity"),                    # ERR needs at least a code
+]
+
+
+@pytest.mark.parametrize("line,code", MALFORMED, ids=[m[0] or "<empty>"
+                                                      for m in MALFORMED])
+def test_malformed_lines_raise_typed_errors(line, code):
+    with pytest.raises(ProtocolError) as exc_info:
+        decode(line)
+    assert exc_info.value.code == code
+
+
+def test_oversized_line_rejected_both_ways():
+    huge = "x" * (MAX_LINE_BYTES + 1)
+    with pytest.raises(ProtocolError) as exc_info:
+        decode("SUBM " + huge)
+    assert exc_info.value.code == "proto"
+    with pytest.raises(ProtocolError):
+        encode("SUBM", huge)
+
+
+def test_encode_rejects_newlines_and_unknown_verbs():
+    with pytest.raises(ProtocolError):
+        encode("OK", "two\nlines")
+    with pytest.raises(ProtocolError):
+        encode("NOPE")
+    with pytest.raises(ProtocolError):
+        encode("SCHD", "has space")  # non-tail args must be atoms
+
+
+def test_bad_timestamp_is_an_arg_error():
+    with pytest.raises(ProtocolError) as exc_info:
+        parse_time_arg("not-a-float")
+    assert exc_info.value.code == "arg"

@@ -1,0 +1,144 @@
+"""Session state-machine tests over a scripted (socketless) transport."""
+
+import json
+
+from repro.service import CampaignService, Session
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.session import SessionClosed, Transport
+
+HELO = f"HELO {PROTOCOL_VERSION} tester"
+
+
+class ScriptTransport(Transport):
+    """Feed a fixed line script; record everything the session sends."""
+
+    def __init__(self, lines):
+        self.script = list(lines)
+        self.sent = []
+        self.closed = False
+
+    def send_line(self, line):
+        self.sent.append(line)
+
+    def recv_line(self):
+        if not self.script:
+            raise SessionClosed("script exhausted")
+        return self.script.pop(0)
+
+    def close(self):
+        self.closed = True
+
+
+def serve_script(lines, campaigns=None):
+    transport = ScriptTransport(lines)
+    Session(transport, campaigns=campaigns).serve()
+    return transport.sent
+
+
+def errs(sent):
+    return [line for line in sent if line.startswith("ERR ")]
+
+
+def test_requires_helo_first():
+    sent = serve_script(["GETS servers", HELO, "QUIT"])
+    assert sent[0].startswith("ERR state")
+    assert sent[1].startswith(f"OK {PROTOCOL_VERSION}")
+    assert sent[2] == "OK bye"
+
+
+def test_version_mismatch_is_rejected_then_retryable():
+    sent = serve_script(["HELO repro-sim-0 old", HELO, "QUIT"])
+    assert sent[0].startswith("ERR proto")
+    assert sent[1].startswith(f"OK {PROTOCOL_VERSION}")
+
+
+def test_double_helo_is_a_state_error():
+    sent = serve_script([HELO, HELO, "QUIT"])
+    assert sent[1].startswith("ERR state")
+    assert sent[-1] == "OK bye"
+
+
+def test_run_verbs_outside_a_run_are_state_errors():
+    sent = serve_script([HELO, "SCHD 0", "DEFR 1", "REDY",
+                         "GETS servers", "QUIT"])
+    assert len(errs(sent)) == 4
+    assert all(e.startswith("ERR state") for e in errs(sent))
+    assert sent[-1] == "OK bye"  # the session survived every one
+
+
+def test_unknown_scenario_and_bad_args_are_arg_errors():
+    sent = serve_script([HELO,
+                         "RUN no-such-preset 0 -",
+                         "RUN tiny-smoke notanint -",
+                         "RUN tiny-smoke 0 zero",
+                         "RUN tiny-smoke 0 -1.0",
+                         "QUIT"])
+    assert len(errs(sent)) == 4
+    assert all(e.startswith("ERR arg") for e in errs(sent))
+
+
+def test_malformed_lines_never_kill_the_session():
+    sent = serve_script([HELO, "", "WAT 1", "SCHD", "QUIT"])
+    codes = [e.split()[1] for e in errs(sent)]
+    assert codes == ["proto", "verb", "arity"]
+    assert sent[-1] == "OK bye"
+
+
+def test_disconnect_without_quit_unwinds_silently():
+    transport = ScriptTransport([HELO])  # EOF right after the greeting
+    Session(transport).serve()
+    assert transport.closed
+
+
+def test_server_to_client_verbs_echoed_back_are_state_errors():
+    sent = serve_script([HELO, "TICK 1.0 0 0", "OK", "DATA 1", "QUIT"])
+    assert len(errs(sent)) == 3
+    assert all(e.startswith("ERR state") for e in errs(sent))
+
+
+def test_rprt_before_any_run_is_a_state_error():
+    sent = serve_script([HELO, "RPRT", "QUIT"])
+    assert errs(sent)[0].startswith("ERR state")
+
+
+def test_subm_without_campaign_service_is_a_state_error():
+    sent = serve_script([HELO, 'SUBM {"scenarios": ["tiny-smoke"]}', "QUIT"],
+                        campaigns=None)
+    assert errs(sent)[0].startswith("ERR state")
+
+
+def test_subm_rejects_bad_documents():
+    campaigns = CampaignService()  # in-memory store
+    sent = serve_script(
+        [HELO,
+         "SUBM not-json",
+         'SUBM {"scenarios": []}',
+         'SUBM {"scenarios": ["no-such-preset"]}',
+         'SUBM {"scenarios": ["tiny-smoke"], "seeds": []}',
+         'SUBM {"scenarios": ["tiny-smoke"], "workers": 0}',
+         "QUIT"],
+        campaigns=campaigns)
+    assert len(errs(sent)) == 5
+    assert all(e.startswith("ERR arg") for e in errs(sent))
+
+
+def test_subm_streams_cells_and_dedupes_through_the_store():
+    campaigns = CampaignService()
+    doc = json.dumps({"scenarios": ["tiny-smoke"], "seeds": [0, 1],
+                      "months": 0.05})
+    first = serve_script([HELO, "SUBM " + doc, "QUIT"], campaigns=campaigns)
+    cells = [line for line in first if line.startswith("CELL ")]
+    assert cells == ["CELL tiny-smoke 0 ok 1 2", "CELL tiny-smoke 1 ok 2 2"]
+    assert any(line.startswith("DONE subm cells=2 ok=2") for line in first)
+
+    # a second client resubmitting the matrix hits the dedupe cache
+    second = serve_script([HELO, "SUBM " + doc, "QUIT"], campaigns=campaigns)
+    cells = [line for line in second if line.startswith("CELL ")]
+    assert cells == ["CELL tiny-smoke 0 cached 1 2",
+                     "CELL tiny-smoke 1 cached 2 2"]
+
+
+def test_cmpr_unknown_baseline_is_an_arg_error():
+    sent = serve_script([HELO, "CMPR nothing-stored", "QUIT"],
+                        campaigns=CampaignService())
+    assert errs(sent)[0].startswith("ERR arg")
