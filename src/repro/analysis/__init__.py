@@ -3,9 +3,12 @@ scenario-vs-baseline comparison."""
 
 from .compare import (
     MetricDelta,
+    ScoreboardRow,
     compare_aggregates,
     compare_runs,
     format_comparison,
+    format_scoreboard,
+    scoreboard,
 )
 from .history import BuildHistory, BuildRecord
 from .statuspage import CellStatus, StatusPage
@@ -16,7 +19,10 @@ __all__ = [
     "StatusPage",
     "CellStatus",
     "MetricDelta",
+    "ScoreboardRow",
     "compare_aggregates",
     "compare_runs",
     "format_comparison",
+    "format_scoreboard",
+    "scoreboard",
 ]

@@ -22,8 +22,9 @@ if TYPE_CHECKING:  # real imports are deferred: analysis loads during the
     # module-level import of core.batch here would be a circular import.
     from ..core.batch import CampaignRun, MetricSummary
 
-__all__ = ["MetricDelta", "compare_aggregates", "compare_runs",
-           "format_comparison"]
+__all__ = ["MetricDelta", "ScoreboardRow", "compare_aggregates",
+           "compare_runs", "format_comparison", "format_scoreboard",
+           "scoreboard"]
 
 
 @dataclass(frozen=True)
@@ -126,4 +127,100 @@ def format_comparison(deltas: dict[str, list[MetricDelta]],
                 f"{d.baseline.ci95:.2f}  Δ={d.delta:+.2f}{pct}")
         if shown == 0:
             lines.append("  (no metric resolved at 95 %)")
+    return "\n".join(lines)
+
+
+# -- policy scoreboard ---------------------------------------------------------
+
+#: Secondary columns shown next to the ranking metric.
+SCOREBOARD_EXTRAS: tuple[str, ...] = (
+    "wait_mean_s", "node_utilization", "jobs_completed",
+    "grow_events", "shrink_events")
+
+
+@dataclass(frozen=True)
+class ScoreboardRow:
+    """One contender's line on the A/B policy scoreboard."""
+
+    rank: int  # 1 = leader
+    name: str
+    summary: "MetricSummary"  # the ranking metric
+    extras: dict[str, "MetricSummary"]
+    #: ``mean - leader.mean`` (0 for the leader itself).
+    delta_vs_leader: float
+    #: Resolved at 95 % against the leader (CIs disjoint, n > 1 both sides).
+    significant_vs_leader: bool
+
+
+def scoreboard(
+    aggregated: dict[str, dict[str, "MetricSummary"]],
+    metric: str = "turnaround_mean_s",
+    ascending: bool = True,
+    extras: Sequence[str] = SCOREBOARD_EXTRAS,
+) -> list[ScoreboardRow]:
+    """Rank aggregated variants on one metric, leader first.
+
+    ``aggregated`` is :func:`~repro.core.batch.aggregate_runs` output
+    where each key is one contender (e.g. ``elastic-burst+common-pool``).
+    ``ascending=True`` means lower is better (turnaround, wait);
+    pass ``False`` for utilization-style metrics.  Each non-leader row is
+    tested against the leader with the same conservative overlapping-CI
+    screen :class:`MetricDelta` uses, so a ``significant_vs_leader`` row
+    is a real resolved gap, not seed noise.  Variants with no sample for
+    the metric sort to the bottom.
+    """
+    def sort_key(item: tuple[str, dict[str, "MetricSummary"]]):
+        s = item[1][metric]
+        no_sample = s.n == 0 or math.isnan(s.mean)
+        mean = s.mean if not no_sample else math.inf
+        return (no_sample, mean if ascending else -mean, item[0])
+
+    for name, summaries in aggregated.items():
+        if metric not in summaries:
+            raise KeyError(f"unknown metric {metric!r} for {name!r} "
+                           f"(have: {', '.join(sorted(summaries))})")
+    ordered = sorted(aggregated.items(), key=sort_key)
+    rows: list[ScoreboardRow] = []
+    leader = ordered[0][1][metric] if ordered else None
+    for rank, (name, summaries) in enumerate(ordered, start=1):
+        s = summaries[metric]
+        d = _delta(metric, leader, s)
+        rows.append(ScoreboardRow(
+            rank=rank,
+            name=name,
+            summary=s,
+            extras={m: summaries[m] for m in extras if m in summaries},
+            delta_vs_leader=0.0 if rank == 1 else d.delta,
+            significant_vs_leader=False if rank == 1 else d.significant,
+        ))
+    return rows
+
+
+def format_scoreboard(rows: Sequence[ScoreboardRow],
+                      metric: str = "turnaround_mean_s") -> str:
+    """Render the scoreboard as an aligned text table.
+
+    The leader is marked ``►``; other rows carry ``*`` when their gap to
+    the leader is resolved at 95 % and ``~`` when it drowns in seed noise.
+    """
+    if not rows:
+        return "(empty scoreboard)"
+    name_w = max(len(r.name) for r in rows)
+    lines = [f"scoreboard on {metric} (► leader, * resolved at 95 %, "
+             f"~ unresolved)"]
+    for r in rows:
+        mark = "►" if r.rank == 1 else ("*" if r.significant_vs_leader else "~")
+        if r.summary.n == 0 or math.isnan(r.summary.mean):
+            body = "no sample"
+        else:
+            body = f"{r.summary.mean:12.2f} ± {r.summary.ci95:<8.2f}"
+            if r.rank > 1 and not math.isnan(r.delta_vs_leader):
+                body += f"  Δ={r.delta_vs_leader:+.2f}"
+        extras = "  ".join(
+            f"{m}={s.mean:.3g}" for m, s in r.extras.items()
+            if s.n > 0 and not math.isnan(s.mean))
+        line = f"  {r.rank}. {mark} {r.name:<{name_w}}  {body}"
+        if extras:
+            line += f"  [{extras}]"
+        lines.append(line)
     return "\n".join(lines)

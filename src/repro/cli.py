@@ -8,6 +8,8 @@ Examples::
     repro-campaign run paper-baseline --store results.jsonl --resume
     repro-campaign report results.jsonl
     repro-campaign compare results.jsonl --baseline paper-baseline
+    repro-campaign scoreboard elastic-burst --seeds 0,1,2
+    repro-campaign run tiny-smoke --strategy common-pool
     repro-campaign trace record tiny-smoke --out trace.jsonl --months 0.2
     repro-campaign trace inspect trace.jsonl
     repro-campaign trace convert archive.swf trace.jsonl
@@ -31,14 +33,26 @@ import time
 from typing import Optional, Sequence
 
 from . import scenarios
-from .analysis.compare import compare_runs, format_comparison
-from .core.batch import CampaignRun, run_campaigns, summarize_runs
+from .analysis.compare import (
+    compare_runs,
+    format_comparison,
+    format_scoreboard,
+    scoreboard,
+)
+from .core.batch import (
+    CampaignRun,
+    aggregate_runs,
+    run_campaigns,
+    summarize_runs,
+)
 from .core.store import CampaignStore
 from .oar.traces import TraceReplayConfig
+from .scheduling.policies import get_strategy, strategy_names
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("run", "report", "compare", "trace", "serve", "client")
+_SUBCOMMANDS = ("run", "report", "compare", "scoreboard", "trace", "serve",
+                "client")
 
 
 def _parse_seeds(text: str) -> list[int]:
@@ -91,6 +105,41 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--load-scale", type=float, default=1.0,
                        help="with --trace: thin (<1) or duplicate (>1) "
                             "the replayed jobs deterministically")
+    run_p.add_argument("--strategy", default=None, metavar="NAME",
+                       help="override every scenario's scheduling strategy "
+                            f"(known: {', '.join(strategy_names())})")
+
+    sb_p = sub.add_parser(
+        "scoreboard",
+        help="A/B-rank scheduling strategies on one scenario")
+    sb_p.add_argument("scenario", nargs="?", default="elastic-burst",
+                      help="preset to hold fixed while strategies vary "
+                           "(default: elastic-burst)")
+    sb_p.add_argument("--strategies", metavar="a,b,c",
+                      default="easy-backfill,common-pool,steal-agreement",
+                      help="comma-separated strategy names to race "
+                           f"(known: {', '.join(strategy_names())})")
+    sb_p.add_argument("--seeds", type=_parse_seeds, default=[0],
+                      metavar="a,b,c",
+                      help="comma-separated seed list (default: 0; use "
+                           "several for 95%% confidence intervals)")
+    sb_p.add_argument("--months", type=float, default=None,
+                      help="override the scenario's horizon")
+    sb_p.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default: min(jobs, cpus))")
+    sb_p.add_argument("--store", default=None, metavar="PATH",
+                      help="archive each finished cell to this JSONL store")
+    sb_p.add_argument("--resume", action="store_true",
+                      help="skip cells the store already holds "
+                           "(requires --store)")
+    sb_p.add_argument("--metric", default="turnaround_mean_s",
+                      help="ranking metric (default: turnaround_mean_s)")
+    sb_p.add_argument("--higher-better", action="store_true",
+                      help="rank descending (e.g. for node_utilization)")
+    sb_p.add_argument("--json", action="store_true",
+                      help="emit the ranked rows as JSON on stdout")
+    sb_p.add_argument("--quiet", action="store_true",
+                      help="suppress per-cell progress lines")
 
     trace_p = sub.add_parser("trace",
                              help="inspect, convert, and record workload "
@@ -197,6 +246,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except (KeyError, ValueError) as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
+    if args.strategy is not None:
+        try:
+            get_strategy(args.strategy)  # fail fast on typos
+            specs = [(s if not isinstance(s, str) else scenarios.get(s))
+                     .derive(strategy=args.strategy) for s in specs]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
     store = None
     if args.store:
         if os.path.exists(args.store):
@@ -298,6 +355,77 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(format_comparison(deltas, baseline=args.baseline,
                             only_significant=args.significant))
     return 0
+
+
+def _cmd_scoreboard(args: argparse.Namespace) -> int:
+    """Race N scheduling strategies on one scenario and rank them."""
+    if args.resume and not args.store:
+        print("error: --resume requires --store", file=sys.stderr)
+        return 2
+    names = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    if not names:
+        print("error: empty --strategies list", file=sys.stderr)
+        return 2
+    try:
+        for name in names:
+            get_strategy(name)  # fail fast on typos
+        base = scenarios.get(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    # One variant per strategy; the +suffix keys the aggregate and store.
+    specs = [base.derive(name=f"{base.name}+{name}", strategy=name)
+             for name in names]
+    store = None
+    if args.store:
+        if os.path.exists(args.store):
+            store = _load_store(args.store)
+            if store is None:
+                return 2
+        else:
+            store = args.store
+    total = len(specs) * len(args.seeds)
+    done = [0]
+    t0 = time.perf_counter()
+
+    def progress(run: CampaignRun, cached: bool) -> None:
+        done[0] += 1
+        if args.quiet or args.json:
+            return
+        status = "cached" if cached else "ok" if run.ok else "FAILED"
+        print(f"[{done[0]}/{total}] {run.scenario} @ seed {run.seed}: "
+              f"{status} ({time.perf_counter() - t0:.1f}s)", file=sys.stderr)
+
+    runs = run_campaigns(specs, seeds=args.seeds, workers=args.workers,
+                         months=args.months, store=store,
+                         resume=args.resume, on_cell=progress)
+    failed = [r for r in runs if not r.ok]
+    for run in failed:
+        print(f"campaign {run.scenario} @ seed {run.seed} FAILED: "
+              f"{run.error_summary}", file=sys.stderr)
+    ok = [r for r in runs if r.ok]
+    if not ok:
+        return 1
+    try:
+        rows = scoreboard(aggregate_runs(ok), metric=args.metric,
+                          ascending=not args.higher_better)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        docs = [{"rank": r.rank, "name": r.name,
+                 "metric": args.metric,
+                 "mean": r.summary.mean, "ci95": r.summary.ci95,
+                 "n": r.summary.n,
+                 "delta_vs_leader": r.delta_vs_leader,
+                 "significant_vs_leader": r.significant_vs_leader,
+                 "extras": {m: {"mean": s.mean, "ci95": s.ci95, "n": s.n}
+                            for m, s in r.extras.items()}}
+                for r in rows]
+        print(json.dumps(docs, sort_keys=True, indent=2))
+    else:
+        print(format_scoreboard(rows, metric=args.metric))
+    return 0 if not failed else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -433,6 +561,8 @@ def _main(argv: Optional[Sequence[str]]) -> int:
         return _cmd_report(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "scoreboard":
+        return _cmd_scoreboard(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "serve":

@@ -103,6 +103,12 @@ SCALAR_METRICS: tuple[str, ...] = (
     "last_month_success",
     "total_builds",
     "unstable_builds",
+    "jobs_completed",
+    "turnaround_mean_s",
+    "wait_mean_s",
+    "node_utilization",
+    "grow_events",
+    "shrink_events",
 )
 
 

@@ -44,6 +44,7 @@ from ..oar.workload import WorkloadGenerator
 from ..scenarios.spec import ScenarioSpec
 from ..scheduling.launcher import ExternalScheduler
 from ..scheduling.pernode import PerNodeVariant
+from ..scheduling.policies import get_strategy
 from ..testbed.generator import ClusterSpec, build_grid5000
 from ..testbed.refapi import ReferenceApi
 from ..testbed.topology import build_topology
@@ -209,11 +210,18 @@ def _build_scheduling(b: FrameworkBuild) -> None:
     )
     history = b.history
     strategy_factory = b.extras.get("scheduling_strategy")
+    if strategy_factory is not None:
+        strategy = strategy_factory(b.spec.policy)
+    else:
+        # Resolve the spec's strategy name against the registry.  Only
+        # `(policy)`-constructible strategies are name-addressable; ones
+        # needing live collaborators (e.g. the wire-protocol bridge) ride
+        # in via the extras factory above.
+        strategy = get_strategy(b.spec.strategy)(b.spec.policy)
     b.scheduler = ExternalScheduler(
         b.sim, b.jenkins, b.oar, b.testbed, b.families, policy=b.spec.policy,
         on_build_done=lambda cell, build: history.record(cell, build),
-        strategy=(strategy_factory(b.spec.policy)
-                  if strategy_factory is not None else None),
+        strategy=strategy,
     )
 
 

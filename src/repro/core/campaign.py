@@ -105,6 +105,15 @@ class CampaignReport:
     # empty for legacy run_campaign callers, keeping summary() unchanged)
     scenario: str = ""
     seed: int = 0
+    # elastic scheduling scoreboard: which strategy drove the run and how
+    # the user workload fared under it (NaN means no finished user jobs)
+    strategy: str = "default"
+    jobs_completed: int = 0
+    turnaround_mean_s: float = float("nan")
+    wait_mean_s: float = float("nan")
+    node_utilization: float = 0.0
+    grow_events: int = 0
+    shrink_events: int = 0
 
     def summary(self) -> str:
         head = f"campaign over {self.months:.1f} months"
@@ -188,7 +197,8 @@ def run_scenario(
         weekly_active.append((t, len(fw.ground_truth.active())))
 
     report = _build_report(fw, spec.months, weekly_active,
-                           scenario=spec.name, seed=spec.seed)
+                           scenario=spec.name, seed=spec.seed,
+                           strategy=spec.strategy)
     return fw, report
 
 
@@ -208,7 +218,8 @@ def _median_days(values: list[float]) -> float:
 
 def _build_report(fw: TestingFramework, months: float,
                   weekly_active: list[tuple[float, int]],
-                  scenario: str = "", seed: int = 0) -> CampaignReport:
+                  scenario: str = "", seed: int = 0,
+                  strategy: str = "default") -> CampaignReport:
     horizon = months * MONTH
     gt = fw.ground_truth
     tracker = fw.tracker
@@ -221,6 +232,19 @@ def _build_report(fw: TestingFramework, months: float,
     for bug in tracker.bugs:
         bugs_by_family[bug.family] = bugs_by_family.get(bug.family, 0) + 1
     unstable = sum(1 for r in history.records if r.status == "UNSTABLE")
+    # User-job scoreboard: every non-immediate job is workload (the
+    # framework's own test jobs are immediate-or-cancel submissions).
+    oar = fw.oar
+    done = [j for j in oar.jobs.values()
+            if not j.immediate and j.finished_at is not None
+            and j.started_at is not None]
+    turnaround = float(np.mean([j.finished_at - j.submitted_at
+                                for j in done])) if done else float("nan")
+    wait = float(np.mean([j.started_at - j.submitted_at
+                          for j in done])) if done else float("nan")
+    total_nodes = len(oar.db.node_uids())
+    utilization = (oar.allocated_node_seconds(until=horizon)
+                   / (total_nodes * horizon)) if total_nodes and horizon else 0.0
     return CampaignReport(
         months=months,
         bugs_filed=tracker.filed_count,
@@ -241,4 +265,15 @@ def _build_report(fw: TestingFramework, months: float,
         bugs_by_family=bugs_by_family,
         scenario=scenario,
         seed=seed,
+        # The declarative strategy name, not the live object's: a builder
+        # extra may swap in a transport adapter (the wire protocol's
+        # external-protocol strategy) that reproduces the spec's policy
+        # byte-for-byte — the report must then still match a local run.
+        strategy=strategy,
+        jobs_completed=len(done),
+        turnaround_mean_s=turnaround,
+        wait_mean_s=wait,
+        node_utilization=utilization,
+        grow_events=oar.grow_events,
+        shrink_events=oar.shrink_events,
     )

@@ -50,10 +50,55 @@ class Job:
     done_event: Optional[Event] = None
     #: Monotonic generation counter guarding stale timer callbacks.
     generation: int = field(default=0)
+    #: Remaining work in node-seconds at ``mass_accrued_at`` — populated on
+    #: the first grow/shrink of a running job with an ``auto_duration``
+    #: (rigid jobs never track mass, keeping their timers byte-identical).
+    mass_remaining: Optional[float] = None
+    mass_accrued_at: Optional[float] = None
+    #: Times this job was grown / shrunk by a malleable policy.
+    grow_count: int = 0
+    shrink_count: int = 0
 
     @property
     def assigned_nodes(self) -> list[str]:
         return [uid for part in self.assignment for uid in part]
+
+    # -- malleability ----------------------------------------------------------
+
+    @property
+    def malleable(self) -> bool:
+        """True for single-part jobs declaring a real width range.
+
+        Grow/shrink operate on single-part integer-width requests — the
+        overwhelmingly common shape, and the only one with an unambiguous
+        "current width".
+        """
+        parts = self.request.parts
+        return len(parts) == 1 and parts[0].malleable
+
+    @property
+    def min_nodes(self) -> int:
+        """Smallest width the job may shrink to (its width when rigid)."""
+        if len(self.request.parts) == 1 \
+                and isinstance(self.request.parts[0].min_nodes, int):
+            return self.request.parts[0].min_nodes
+        return self.width
+
+    @property
+    def max_nodes(self) -> int:
+        """Largest width the job may grow to (its width when rigid)."""
+        if len(self.request.parts) == 1 \
+                and isinstance(self.request.parts[0].max_nodes, int):
+            return self.request.parts[0].max_nodes
+        return self.width
+
+    @property
+    def width(self) -> int:
+        """Current allocated width (preferred width before assignment)."""
+        if self.assignment:
+            return sum(len(part) for part in self.assignment)
+        return sum(part.count for part in self.request.parts
+                   if isinstance(part.count, int))
 
     @property
     def walltime_s(self) -> float:

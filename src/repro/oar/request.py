@@ -6,9 +6,19 @@ Slide 7 shows the selection syntax users (and the testing framework) use::
                eth10g='Y'/nodes=2,walltime=2"
 
 A request is ``part ('+' part)* (',' 'walltime=' time)?`` where each part is
-``[property_expression '/'] 'nodes=' (int | ALL)``.  Property expressions
-support ``and``/``or``/``not``, parentheses, and the comparison operators
-``= != < <= > >=`` over quoted strings and numbers.
+``[property_expression '/'] 'nodes=' count``.  ``count`` is ``int``, ``ALL``,
+or an elastic width range:
+
+* ``nodes=4`` — rigid, exactly four nodes;
+* ``nodes=2..8`` — malleable, preferred (and placed at) 2, growable to 8;
+* ``nodes=2..4..8`` — malleable, minimum 2, preferred 4, maximum 8.
+
+Rigid is the ``min == preferred == max`` degenerate case; placement always
+happens at the *preferred* width, so a request with a range schedules
+byte-identically to its rigid counterpart until a malleable policy calls
+``grow``/``shrink``.  Property expressions support ``and``/``or``/``not``,
+parentheses, and the comparison operators ``= != < <= > >=`` over quoted
+strings and numbers.
 
 The parser is a hand-written tokenizer + recursive-descent (precedence:
 ``or`` < ``and`` < ``not`` < comparison), producing an AST whose nodes
@@ -112,13 +122,57 @@ class NotOp(PropExpr):
 
 @dataclass(frozen=True)
 class RequestPart:
-    """One resource group: ``expr/nodes=count``."""
+    """One resource group: ``expr/nodes=count``.
+
+    ``count`` is the *preferred* width — the one the scheduler places the
+    job at.  ``min_count``/``max_count`` bound a malleable job's width
+    (``None`` on both means rigid: the job runs at exactly ``count``).
+    """
 
     expr: Optional[PropExpr]
     count: Union[int, str]  # int or ALL_NODES
+    min_count: Optional[int] = None
+    max_count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.min_count is None and self.max_count is None:
+            return
+        if not isinstance(self.count, int):
+            raise ValueError("elastic width ranges need an integer count, "
+                             f"not {self.count!r}")
+        lo = self.count if self.min_count is None else self.min_count
+        hi = self.count if self.max_count is None else self.max_count
+        if not 1 <= lo <= self.count <= hi:
+            raise ValueError(
+                f"invalid elastic width {lo}..{self.count}..{hi}: "
+                "need 1 <= min <= preferred <= max")
+
+    @property
+    def min_nodes(self) -> Union[int, str]:
+        """Smallest width the job can run at (== ``count`` when rigid)."""
+        return self.count if self.min_count is None else self.min_count
+
+    @property
+    def max_nodes(self) -> Union[int, str]:
+        """Largest width the job may grow to (== ``count`` when rigid)."""
+        return self.count if self.max_count is None else self.max_count
+
+    @property
+    def malleable(self) -> bool:
+        """True when the width range is wider than a single point."""
+        return (isinstance(self.count, int)
+                and (self.min_nodes < self.count
+                     or self.max_nodes > self.count))
 
     def __str__(self) -> str:
-        nodes = f"nodes={self.count}"
+        if self.malleable:
+            lo, hi = self.min_nodes, self.max_nodes
+            if lo == self.count:
+                nodes = f"nodes={lo}..{hi}"
+            else:
+                nodes = f"nodes={lo}..{self.count}..{hi}"
+        else:
+            nodes = f"nodes={self.count}"
         return f"{self.expr}/{nodes}" if self.expr is not None else nodes
 
 
@@ -148,6 +202,7 @@ def format_walltime(seconds: float) -> str:
 _TOKEN_RE = re.compile(
     r"""\s*(?:
         (?P<op><=|>=|!=|=|<|>)
+      | (?P<range>\.\.)
       | (?P<punct>[()/+,:])
       | (?P<string>'[^']*')
       | (?P<number>-?\d+(?:\.\d+)?)
@@ -173,7 +228,7 @@ def _tokenize(text: str) -> list[_Token]:
             if text[pos:].strip() == "":
                 break
             raise ParseError("unexpected character", text, pos)
-        for kind in ("op", "punct", "string", "number", "word"):
+        for kind in ("op", "range", "punct", "string", "number", "word"):
             value = match.group(kind)
             if value is not None:
                 tokens.append(_Token(kind, value, match.start(kind)))
@@ -271,12 +326,12 @@ class _Parser:
         if self.at_word("nodes"):
             self.next()
             self.expect("op", "=")
-            return RequestPart(None, self._parse_count())
+            return RequestPart(None, *self._parse_count_spec())
         expr = self.parse_or()
         self.expect("punct", "/")
         self.expect("word", "nodes")
         self.expect("op", "=")
-        return RequestPart(expr, self._parse_count())
+        return RequestPart(expr, *self._parse_count_spec())
 
     def _parse_count(self) -> Union[int, str]:
         tok = self.next()
@@ -285,6 +340,53 @@ class _Parser:
         if tok.kind == "word" and tok.text.upper() == ALL_NODES:
             return ALL_NODES
         raise ParseError(f"invalid node count {tok.text!r}", self.text, tok.pos)
+
+    def at_range(self) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.kind == "range"
+
+    def _parse_count_spec(
+            self) -> tuple[Union[int, str], Optional[int], Optional[int]]:
+        """``count``, ``min..max`` or ``min..preferred..max``.
+
+        Two values mean "place at the minimum, growable to the maximum";
+        three spell the preferred width out.  Returns
+        ``(count, min_count, max_count)`` with ``(count, None, None)`` for
+        the rigid single-value form.
+        """
+        first = self.next()
+        self.index -= 1  # re-read via _parse_count for the shared validation
+        count = self._parse_count()
+        if not self.at_range():
+            return count, None, None
+        if count == ALL_NODES or first.kind != "number":
+            raise ParseError("ALL cannot anchor an elastic width range",
+                             self.text, first.pos)
+        values = [count]
+        while self.at_range():
+            self.next()
+            tok = self.peek()
+            values.append(self._parse_count())
+            if values[-1] == ALL_NODES:
+                raise ParseError("ALL cannot appear in an elastic width "
+                                 "range", self.text,
+                                 tok.pos if tok is not None else 0)
+        if len(values) == 2:
+            lo, hi = values
+            preferred = lo
+        elif len(values) == 3:
+            lo, preferred, hi = values
+        else:
+            raise ParseError(
+                "elastic width takes min..max or min..preferred..max, "
+                f"got {len(values)} values", self.text, first.pos)
+        if not lo <= preferred <= hi:
+            raise ParseError(
+                f"invalid elastic width {lo}..{preferred}..{hi}: need "
+                "min <= preferred <= max", self.text, first.pos)
+        if lo == hi:
+            return preferred, None, None  # degenerate range: plain rigid
+        return preferred, lo, hi
 
     def parse_request(self) -> JobRequest:
         parts = [self.parse_part()]

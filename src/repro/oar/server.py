@@ -25,7 +25,7 @@ Node states follow OAR vocabulary: **Alive** (usable), **Absent**
 from __future__ import annotations
 
 import bisect
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from ..nodes.machine import MachinePark, PowerState
 from ..util.errors import SchedulingError
@@ -75,6 +75,15 @@ class OarServer:
         #: must not mutate scheduling state.
         self.on_job_start: list = []
         self.on_job_complete: list = []
+        #: Grow/shrink events executed by malleable policies (campaign
+        #: reports surface these per strategy).
+        self.grow_events = 0
+        self.shrink_events = 0
+        #: Allocated node-seconds integral: accrued at every allocation
+        #: change, so time-averaged utilization is exact, not sampled.
+        self._alloc_count = 0
+        self._alloc_integral = 0.0
+        self._alloc_since = 0.0
 
     # -- node states -----------------------------------------------------------
 
@@ -342,6 +351,7 @@ class OarServer:
         job.started_at = self.sim.now
         for uid in job.assigned_nodes:
             self.machines[uid].cpu_load = _BUSY_LOAD
+        self._account_alloc(len(job.assigned_nodes))
         job.started_event.succeed(job)
         for hook in self.on_job_start:
             hook(job)
@@ -355,7 +365,14 @@ class OarServer:
     def _auto_finish(self, job: Job, generation: int) -> None:
         if job.generation != generation or job.state != JobState.RUNNING:
             return
-        killed = job.auto_duration is not None and job.auto_duration > job.walltime_s
+        if job.mass_remaining is not None:
+            # Mass-tracked (resized at least once): killed iff the walltime
+            # deadline arrived with work still outstanding.
+            self._accrue_mass(job)
+            killed = job.mass_remaining > 1e-6
+        else:
+            killed = (job.auto_duration is not None
+                      and job.auto_duration > job.walltime_s)
         job.killed_by_walltime = killed
         self._finish(job, JobState.TERMINATED)
 
@@ -369,6 +386,7 @@ class OarServer:
         job.generation += 1
         job.state = state
         job.finished_at = self.sim.now
+        self._account_alloc(-len(job.assigned_nodes))
         for uid in job.assigned_nodes:
             self.machines[uid].cpu_load = _IDLE_LOAD
         self.gantt.truncate(job.assigned_nodes, job.job_id, self.sim.now)
@@ -377,6 +395,246 @@ class OarServer:
         for hook in self.on_job_complete:
             hook(job)
         self._request_replan()
+
+    # -- grow/shrink protocol (malleable jobs) ---------------------------------
+
+    def _check_resizable(self, job: Job, verb: str) -> None:
+        if job.state != JobState.RUNNING:
+            raise SchedulingError(
+                f"cannot {verb} job {job.job_id} in state {job.state}")
+        if len(job.request.parts) != 1:
+            raise SchedulingError(
+                f"{verb} supports single-part requests only "
+                f"(job {job.job_id} has {len(job.request.parts)} parts)")
+
+    def _accrue_mass(self, job: Job) -> None:
+        """Bring the remaining-work account up to now at the current width.
+
+        Lazily initialized on the first resize: until then the job's total
+        work is ``min(auto_duration, walltime) * width`` node-seconds and
+        it has been consuming at its start width — so rigid jobs never
+        enter mass tracking and keep their original finish timers.
+        """
+        if job.auto_duration is None:
+            return
+        now = self.sim.now
+        if job.mass_remaining is None:
+            # Full demanded work, NOT clamped to walltime: a job wanting
+            # more than its walltime allows must reach the deadline with
+            # mass outstanding, so _auto_finish flags it killed exactly
+            # like the rigid auto_duration > walltime check does.
+            job.mass_remaining = \
+                (job.auto_duration - (now - job.started_at)) * job.width
+        else:
+            job.mass_remaining -= (now - job.mass_accrued_at) * job.width
+        job.mass_accrued_at = now
+        if job.mass_remaining < 0.0:
+            job.mass_remaining = 0.0
+
+    def _reschedule_finish(self, job: Job) -> None:
+        """Re-register the finish timer after a width change.
+
+        Bumping the generation first invalidates the previous finish or
+        walltime-kill timer — the guard that makes a grow racing a pending
+        walltime kill safe: whichever event was already queued sees a stale
+        generation and becomes a no-op.
+        """
+        job.generation += 1
+        generation = job.generation
+        deadline = job.started_at + job.walltime_s
+        if job.auto_duration is not None:
+            finish_at = min(self.sim.now + job.mass_remaining / job.width,
+                            deadline)
+            self.sim.call_at(finish_at, self._auto_finish, job, generation)
+        else:
+            self.sim.call_at(deadline, self._walltime_kill, job, generation)
+
+    def grow(self, job: Job, nodes: Sequence[str]) -> None:
+        """Expand a running malleable job onto idle nodes, effective now.
+
+        The nodes must match the request's property expression, be alive,
+        and be free from now through the job's walltime deadline (see
+        :meth:`grow_candidates`) — growing therefore never disturbs any
+        existing reservation.  With linear speedup the remaining work
+        spreads over the wider allocation and the finish timer pulls in.
+        """
+        nodes = list(nodes)
+        self._check_resizable(job, "grow")
+        if not nodes:
+            return
+        now = self.sim.now
+        deadline = job.started_at + job.walltime_s
+        if now >= deadline:
+            raise SchedulingError(
+                f"job {job.job_id} is at its walltime deadline")
+        if job.width + len(nodes) > job.max_nodes:
+            raise SchedulingError(
+                f"cannot grow job {job.job_id} to {job.width + len(nodes)} "
+                f"nodes: max_nodes={job.max_nodes}")
+        current = set(job.assigned_nodes)
+        matching = self._matching_set(job.request.parts[0].expr)
+        for uid in nodes:
+            if uid in current:
+                raise SchedulingError(
+                    f"node {uid} already allocated to job {job.job_id}")
+            if uid not in matching:
+                raise SchedulingError(
+                    f"node {uid} does not match job {job.job_id}'s request")
+            if self.node_state(uid) != "Alive":
+                raise SchedulingError(f"node {uid} is not alive")
+        self._accrue_mass(job)  # settle work done at the old width first
+        self.gantt.reserve(nodes, now, deadline, job.job_id)
+        job.assignment = (job.assignment[0] + tuple(nodes),)
+        for uid in nodes:
+            self.machines[uid].cpu_load = _BUSY_LOAD
+        self._account_alloc(len(nodes))
+        job.grow_count += 1
+        self.grow_events += 1
+        self._reschedule_finish(job)
+
+    def shrink(self, job: Job, k: int, prefer: Optional[set] = None,
+               replan: bool = True) -> list[str]:
+        """Reclaim ``k`` nodes from a running malleable job, effective now.
+
+        Refuses to shrink below the request's ``min_nodes``.  Nodes leave
+        the allocation tail first (grown nodes before original ones);
+        ``prefer`` biases the pick toward specific uids (the
+        steal-agreement policy frees nodes a queued job can actually use).
+        Freed reservations are truncated at now, and with ``replan=True``
+        future reservations touching them are immediately re-placed so
+        queued work pulls forward.  Returns the freed uids.
+        """
+        self._check_resizable(job, "shrink")
+        if k <= 0:
+            raise SchedulingError(f"shrink needs a positive count, got {k}")
+        if job.width - k < job.min_nodes:
+            raise SchedulingError(
+                f"cannot shrink job {job.job_id} to {job.width - k} nodes: "
+                f"min_nodes={job.min_nodes}")
+        alloc = list(job.assignment[0])
+        chosen: list[str] = []
+        if prefer:
+            for uid in reversed(alloc):
+                if len(chosen) == k:
+                    break
+                if uid in prefer:
+                    chosen.append(uid)
+        if len(chosen) < k:
+            taken = set(chosen)
+            for uid in reversed(alloc):
+                if len(chosen) == k:
+                    break
+                if uid not in taken:
+                    chosen.append(uid)
+        self._accrue_mass(job)  # settle work done at the old width first
+        chosen_set = set(chosen)
+        job.assignment = (tuple(u for u in alloc if u not in chosen_set),)
+        self.gantt.truncate(chosen, job.job_id, self.sim.now)
+        for uid in chosen:
+            self.machines[uid].cpu_load = _IDLE_LOAD
+        self._account_alloc(-k)
+        job.shrink_count += 1
+        self.shrink_events += 1
+        self._reschedule_finish(job)
+        self._dirty_nodes.update(chosen)
+        if replan:
+            self.replan_now(chosen_set)
+        return chosen
+
+    def evict_dead_nodes(self, job: Job) -> bool:
+        """Drop dead nodes from a running job's allocation (policy-driven).
+
+        When the surviving width stays >= ``min_nodes`` the job shrinks
+        past the dead nodes and keeps running; otherwise it is torn down
+        and re-queued at its FCFS rank, exactly like a pre-start node death
+        in :meth:`_try_start`.  Returns True when anything changed.  Only
+        malleable policies call this — the rigid path keeps the historical
+        behaviour (a dead node is held until the job ends).
+        """
+        if job.state != JobState.RUNNING or len(job.request.parts) != 1:
+            return False
+        dead = [u for u in job.assignment[0]
+                if self.node_state(u) != "Alive"]
+        if not dead:
+            return False
+        dead_set = set(dead)
+        alive = [u for u in job.assignment[0] if u not in dead_set]
+        now = self.sim.now
+        if len(alive) >= max(job.min_nodes, 1):
+            # Survivable: shrink past the dead nodes.  Work already done on
+            # them is kept (the mass account accrues at the full width up
+            # to now) — checkpoint-and-continue semantics.
+            self._accrue_mass(job)
+            job.assignment = (tuple(alive),)
+            self.gantt.truncate(dead, job.job_id, now)
+            self._account_alloc(-len(dead))
+            job.shrink_count += 1
+            self.shrink_events += 1
+            self._reschedule_finish(job)
+            self._dirty_nodes.update(dead)
+            self._request_replan()
+            return True
+        # Below min_nodes: tear the run down and restart from the queue.
+        released = job.assigned_nodes
+        self.gantt.release(released, job.job_id)
+        for uid in alive:
+            self.machines[uid].cpu_load = _IDLE_LOAD
+        self._account_alloc(-len(released))
+        job.assignment = ()
+        job.scheduled_start = None
+        job.started_at = None
+        job.mass_remaining = None
+        job.mass_accrued_at = None
+        job.generation += 1
+        job.state = JobState.WAITING
+        #: Fresh start event: the original already fired for the first run.
+        job.started_event = self.sim.event()
+        self._dirty_nodes.update(alive)
+        # Re-queue at the job-id rank (see _try_start's dead-node path).
+        ids = [j.job_id for j in self._waiting]
+        self._waiting.insert(bisect.bisect(ids, job.job_id), job)
+        self._schedule_pass()
+        return True
+
+    def replan_now(self, touching: Optional[set] = None) -> None:
+        """Synchronously re-place future reservations (the immediate
+        counterpart of the batched replan; malleable policies call this
+        right after freeing capacity so queued work pulls forward within
+        the same tick)."""
+        if touching is not None and not touching:
+            return
+        self._replan_future_jobs(touching)
+
+    def grow_candidates(self, job: Job) -> list[str]:
+        """Alive matching nodes free from now through the job's walltime
+        deadline — exactly what :meth:`grow` may claim without disturbing
+        any existing reservation.  Deterministic database order."""
+        if job.state != JobState.RUNNING or len(job.request.parts) != 1:
+            return []
+        now = self.sim.now
+        deadline = job.started_at + job.walltime_s
+        if deadline <= now:
+            return []
+        current = set(job.assigned_nodes)
+        out = []
+        for uid in self._matching(job.request.parts[0].expr):
+            if uid in current or self.node_state(uid) != "Alive":
+                continue
+            if self.gantt.is_free(uid, now, deadline):
+                out.append(uid)
+        return out
+
+    def _account_alloc(self, delta: int) -> None:
+        now = self.sim.now
+        self._alloc_integral += self._alloc_count * (now - self._alloc_since)
+        self._alloc_since = now
+        self._alloc_count += delta
+
+    def allocated_node_seconds(self, until: Optional[float] = None) -> float:
+        """Exact integral of allocated nodes over time since t=0."""
+        until = self.sim.now if until is None else until
+        return (self._alloc_integral
+                + self._alloc_count * (until - self._alloc_since))
 
     def _request_replan(self) -> None:
         if not self._replan_pending:
@@ -396,6 +654,22 @@ class OarServer:
 
     def waiting_count(self) -> int:
         return len(self._waiting) + len(self._scheduled)
+
+    def queued_jobs(self, slack_s: float = 60.0) -> list[Job]:
+        """Jobs that want to run but are not running: the waiting pool plus
+        scheduled jobs whose reservation starts more than ``slack_s`` away.
+
+        Conservative backfilling parks nearly every submission with a
+        future reservation, so "queue pressure" means far-future
+        reservations, not an empty-handed waiting list.  Sorted by job id
+        (FCFS order)."""
+        horizon = self.sim.now + slack_s
+        queued = list(self._waiting)
+        queued.extend(j for j in self._scheduled
+                      if j.scheduled_start is not None
+                      and j.scheduled_start > horizon)
+        queued.sort(key=lambda j: j.job_id)
+        return queued
 
     def running_jobs(self) -> list[Job]:
         return [j for j in self.jobs.values() if j.state == JobState.RUNNING]

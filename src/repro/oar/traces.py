@@ -65,7 +65,14 @@ _BUILTIN_DIR = os.path.join(os.path.dirname(__file__), "builtin_traces")
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One recorded job: when it arrived, what it asked for, how it ran."""
+    """One recorded job: when it arrived, what it asked for, how it ran.
+
+    ``nodes`` is the *requested* size (SWF field 8, the PWA convention,
+    falling back to allocated when the archive row carries ``-1``);
+    ``alloc_nodes`` carries the *allocated* size (SWF field 5) when it is
+    known — the requested/allocated distinction is what lets an imported
+    trace express elastic widths.
+    """
 
     submit_s: float
     nodes: int
@@ -75,12 +82,17 @@ class TraceRecord:
     cluster: Optional[str] = None
     user: str = ""
     job_id: Optional[int] = None
+    #: Allocated processors (SWF field 5); ``None`` when unknown (-1).
+    alloc_nodes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
             raise ValueError(f"record needs nodes >= 1, got {self.nodes}")
         if self.walltime_s <= 0:
             raise ValueError(f"record needs walltime > 0, got {self.walltime_s}")
+        if self.alloc_nodes is not None and self.alloc_nodes < 1:
+            raise ValueError(
+                f"record needs alloc_nodes >= 1 or None, got {self.alloc_nodes}")
 
     def to_doc(self) -> dict:
         doc = {"submit_s": self.submit_s, "nodes": self.nodes,
@@ -91,11 +103,14 @@ class TraceRecord:
             doc["user"] = self.user
         if self.job_id is not None:
             doc["job_id"] = self.job_id
+        if self.alloc_nodes is not None:
+            doc["alloc_nodes"] = self.alloc_nodes
         return doc
 
     @classmethod
     def from_doc(cls, doc: dict) -> "TraceRecord":
         try:
+            alloc = doc.get("alloc_nodes")
             return cls(
                 submit_s=float(doc["submit_s"]),
                 nodes=int(doc["nodes"]),
@@ -104,6 +119,7 @@ class TraceRecord:
                 cluster=doc.get("cluster"),
                 user=doc.get("user", ""),
                 job_id=doc.get("job_id"),
+                alloc_nodes=int(alloc) if alloc is not None else None,
             )
         except KeyError as exc:
             raise ValueError(
@@ -146,7 +162,7 @@ class WorkloadTrace:
             return self
         shifted = tuple(
             TraceRecord(r.submit_s - t0, r.nodes, r.walltime_s, r.run_s,
-                        r.cluster, r.user, r.job_id)
+                        r.cluster, r.user, r.job_id, r.alloc_nodes)
             for r in self.records)
         return WorkloadTrace(shifted, name=self.name)
 
@@ -169,7 +185,8 @@ class WorkloadTrace:
             for copy in range(copies):
                 out.append(TraceRecord(
                     r.submit_s * time_scale, r.nodes, r.walltime_s, r.run_s,
-                    r.cluster, r.user, r.job_id if copy == 0 else None))
+                    r.cluster, r.user, r.job_id if copy == 0 else None,
+                    r.alloc_nodes))
         return WorkloadTrace(tuple(out), name=self.name)
 
     def stats(self) -> dict:
@@ -210,12 +227,24 @@ class TraceReplayConfig:
     load_scale: float = 1.0
     #: Shift the trace so its first submission lands at simulation start.
     rebase: bool = True
+    #: Elastic replay: widen each job's request into a malleable range
+    #: ``lo..preferred..hi`` with ``lo = nodes * elastic_min_scale`` and
+    #: ``hi = nodes * elastic_max_scale``.  The defaults (both 1.0) replay
+    #: rigid requests byte-identically.
+    elastic_min_scale: float = 1.0
+    elastic_max_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.time_scale <= 0:
             raise ValueError(f"time_scale must be positive, got {self.time_scale}")
         if self.load_scale <= 0:
             raise ValueError(f"load_scale must be positive, got {self.load_scale}")
+        if not 0 < self.elastic_min_scale <= 1.0:
+            raise ValueError(
+                f"elastic_min_scale must be in (0, 1], got {self.elastic_min_scale}")
+        if self.elastic_max_scale < 1.0:
+            raise ValueError(
+                f"elastic_max_scale must be >= 1, got {self.elastic_max_scale}")
 
     def load(self) -> WorkloadTrace:
         return load_trace(self.path)
@@ -255,9 +284,10 @@ def parse_swf(text: str, name: str = "") -> WorkloadTrace:
         try:
             submit = float(fields[_SWF_SUBMIT])
             run = float(fields[_SWF_RUN])
+            alloc = int(float(fields[_SWF_ALLOC_PROCS]))
             nodes = int(float(fields[_SWF_REQ_PROCS]))
             if nodes <= 0:
-                nodes = int(float(fields[_SWF_ALLOC_PROCS]))
+                nodes = alloc
             walltime = float(fields[_SWF_REQ_TIME])
             job_id = int(float(fields[0]))
             user = fields[_SWF_USER] if len(fields) > _SWF_USER else "-1"
@@ -274,6 +304,7 @@ def parse_swf(text: str, name: str = "") -> WorkloadTrace:
             run_s=run if run > 0 else walltime,
             user=f"user{user}" if user != "-1" else "",
             job_id=job_id,
+            alloc_nodes=alloc if alloc > 0 else None,
         ))
     return WorkloadTrace(tuple(records), name=name)
 
@@ -288,7 +319,8 @@ def trace_to_swf(trace: WorkloadTrace) -> str:
         fields[0] = r.job_id if r.job_id is not None else i
         fields[_SWF_SUBMIT] = int(r.submit_s)
         fields[_SWF_RUN] = int(r.run_s)
-        fields[_SWF_ALLOC_PROCS] = r.nodes
+        fields[_SWF_ALLOC_PROCS] = (r.alloc_nodes if r.alloc_nodes is not None
+                                    else r.nodes)
         fields[_SWF_REQ_PROCS] = r.nodes
         fields[_SWF_REQ_TIME] = int(r.walltime_s)
         if r.user.startswith("user") and r.user[4:].isdigit():
@@ -478,9 +510,13 @@ class TraceReplayGenerator(WorkloadSource):
         time_scale: float = 1.0,
         load_scale: float = 1.0,
         rebase: bool = True,
+        elastic_min_scale: float = 1.0,
+        elastic_max_scale: float = 1.0,
     ):
         super().__init__(sim, oar)
         self.trace = trace
+        self.elastic_min_scale = elastic_min_scale
+        self.elastic_max_scale = elastic_max_scale
         prepared = trace.sorted()
         if rebase:
             prepared = prepared.rebased()
@@ -500,7 +536,9 @@ class TraceReplayGenerator(WorkloadSource):
                     testbed=None) -> "TraceReplayGenerator":
         return cls(sim, oar, config.load(), testbed=testbed,
                    time_scale=config.time_scale,
-                   load_scale=config.load_scale, rebase=config.rebase)
+                   load_scale=config.load_scale, rebase=config.rebase,
+                   elastic_min_scale=config.elastic_min_scale,
+                   elastic_max_scale=config.elastic_max_scale)
 
     def _run(self):
         origin = self.sim.now
@@ -525,7 +563,20 @@ class TraceReplayGenerator(WorkloadSource):
             nodes = min(nodes, self._total_nodes)
         walltime = max(record.walltime_s, 1.0)
         prefix = f"cluster='{cluster}'/" if cluster is not None else ""
-        request = f"{prefix}nodes={nodes},walltime={format_walltime(walltime)}"
+        if self.elastic_min_scale != 1.0 or self.elastic_max_scale != 1.0:
+            cap = (self._cluster_sizes[cluster]
+                   if cluster is not None and self._cluster_sizes
+                   else self._total_nodes)
+            lo = max(1, int(nodes * self.elastic_min_scale))
+            hi = max(nodes, math.ceil(nodes * self.elastic_max_scale))
+            if cap is not None:
+                hi = min(hi, cap)
+            hi = max(hi, nodes)
+            count = f"{lo}..{nodes}..{hi}" if lo < nodes or hi > nodes \
+                else str(nodes)
+        else:
+            count = str(nodes)
+        request = f"{prefix}nodes={count},walltime={format_walltime(walltime)}"
         self.submitted += 1
         user = record.user or f"trace{self.submitted}"
         job = self.oar.submit(request, user=user,

@@ -131,6 +131,20 @@ register(get("trace-replay").derive(
                                load_scale=2.0),
 ))
 
+#: Malleable A/B arena: the bursty replay with every job's width widened
+#: into an elastic range (half to double its recorded size), driven by a
+#: malleable policy.  Swap ``strategy`` to A/B the policy family —
+#: ``repro-campaign scoreboard`` does exactly that.
+register(get("bursty-replay").derive(
+    name="elastic-burst",
+    description="Bursty tiny-g5k replay with elastic width ranges "
+                "(0.5x..2x) under a malleable scheduling policy.",
+    workload=TraceReplayConfig(path="tiny-g5k", time_scale=0.5,
+                               load_scale=2.0, elastic_min_scale=0.5,
+                               elastic_max_scale=2.0),
+    strategy="common-pool",
+))
+
 #: Heavily-used testbed with aggressive re-test cadence: maximum
 #: contention between users and the framework (the slide-16 regime).
 register(get("paper-baseline").derive(

@@ -72,6 +72,11 @@ class ScenarioSpec:
     framework_enabled: bool = True
     pernode: bool = False
     executors: int = 16
+    #: Scheduling strategy name (see ``repro.scheduling.strategy_names()``;
+    #: e.g. the malleable policies ``common-pool``/``steal-agreement``).
+    #: Resolved at build time, so presets stay importable before every
+    #: strategy module has registered.
+    strategy: str = "default"
 
     def __post_init__(self) -> None:
         if self.clusters is not None:

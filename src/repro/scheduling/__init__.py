@@ -1,5 +1,10 @@
 """External test scheduler: availability-aware triggering with policies."""
 
+from .elastic import (
+    CommonPoolStrategy,
+    EasyBackfillStrategy,
+    StealAgreementStrategy,
+)
 from .launcher import ExternalScheduler, TestCell, TickView
 from .pernode import PerNodeVariant, make_pernode_scheduler
 from .policies import (
@@ -23,6 +28,9 @@ __all__ = [
     "register_strategy",
     "get_strategy",
     "strategy_names",
+    "EasyBackfillStrategy",
+    "CommonPoolStrategy",
+    "StealAgreementStrategy",
     "PerNodeVariant",
     "make_pernode_scheduler",
 ]

@@ -1,0 +1,228 @@
+"""Malleable scheduling policies: the grow/shrink decision procedures.
+
+The OAR layer provides the *mechanism* — ``grow``/``shrink``/
+``evict_dead_nodes`` on :class:`~repro.oar.server.OarServer`, all ordinary
+deterministic kernel events guarded by the job's generation counter.  This
+module provides the *policies* that drive it, registered in the ordinary
+strategy registry so a scenario selects one by name
+(``ScenarioSpec.strategy``):
+
+* ``easy-backfill`` — the rigid baseline: jobs run at their preferred
+  width from start to finish, exactly the historical behaviour (and
+  byte-identical to ``default``).  Malleable width ranges are ignored, so
+  an A/B against it holds contention constant.
+* ``common-pool`` — treat idle capacity as a common pool: running
+  malleable jobs expand into nodes that are free through their walltime
+  deadline (one node per job per round, round-robin in FCFS order, so the
+  pool is shared fairly).  Growing never displaces a reservation — only
+  capacity nothing else could use before the grower's deadline — so it
+  runs every tick; on queue pressure every job above its preferred width
+  is first clipped back so the reclaimed nodes immediately re-plan queued
+  work forward.
+* ``steal-agreement`` — everything common-pool does, plus an explicit
+  negotiation for queued jobs: a queued job short of nodes asks the
+  running malleable jobs to cede width down toward their minimum.  The
+  agreement is all-or-nothing — donors only shrink when their combined
+  cedeable width covers the deficit — and each donor keeps enough width
+  to still finish inside its walltime (the feasibility floor), so a steal
+  never converts a finishing job into a walltime kill.
+
+Every decision runs inside the scheduler tick (the simulated clock is
+frozen), iterates jobs in job-id order, and picks nodes in deterministic
+database order — two runs of the same scenario make byte-identical calls.
+
+Test-cell decisions are inherited from :class:`DefaultStrategy` unchanged:
+elastic policies govern *user* jobs and leave the framework's own
+launch/defer behaviour alone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from .policies import DefaultStrategy, register_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..oar.jobs import Job
+    from ..oar.server import OarServer
+    from .launcher import TickView
+
+__all__ = ["EasyBackfillStrategy", "CommonPoolStrategy",
+           "StealAgreementStrategy"]
+
+
+def _running_malleable(oar: "OarServer") -> list["Job"]:
+    """Running malleable jobs in job-id (FCFS) order."""
+    return [j for j in oar.running_jobs() if j.malleable]
+
+
+@register_strategy
+class EasyBackfillStrategy(DefaultStrategy):
+    """Rigid baseline with reservations: never grows or shrinks.
+
+    The underlying OAR scheduler already runs FCFS with conservative
+    backfilling; this strategy simply leaves every job at its preferred
+    width, which makes it the identical-contention baseline for the
+    malleable policies (same submissions, same placements, same ticks).
+    """
+
+    name = "easy-backfill"
+
+
+@register_strategy
+class CommonPoolStrategy(DefaultStrategy):
+    """Expand running malleable jobs into the idle pool; reclaim on queue
+    pressure."""
+
+    name = "common-pool"
+
+    #: A reservation further than this away counts as queue pressure.
+    queue_slack_s = 60.0
+
+    def on_tick(self, view: "TickView") -> None:
+        super().on_tick(view)  # test-cell decisions, unchanged
+        self.elastic_tick(view.scheduler.oar)
+
+    def elastic_tick(self, oar: "OarServer") -> None:
+        self._evict_dead(oar)
+        pressure = oar.queued_jobs(self.queue_slack_s)
+        if pressure:
+            self._reclaim(oar, pressure)
+        # Expanding is safe even under pressure: grow only claims nodes
+        # free through the job's whole walltime window, so no reservation
+        # (queued job) is ever displaced — only capacity nothing else
+        # could use before the grower's deadline.  The extra width burns
+        # the job's remaining mass faster, so it finishes and frees its
+        # whole allocation earlier.
+        self._expand(oar)
+
+    # -- shared building blocks ------------------------------------------------
+
+    def _evict_dead(self, oar: "OarServer") -> None:
+        """Release dead nodes held by malleable jobs (shrink past them, or
+        re-queue at FCFS rank when the job would fall below its minimum)."""
+        for job in _running_malleable(oar):
+            oar.evict_dead_nodes(job)
+
+    def _reclaim(self, oar: "OarServer", pressure: list["Job"]) -> None:
+        """Clip every malleable job back to its preferred width and re-plan
+        the queue onto the freed nodes at once."""
+        freed: set[str] = set()
+        for job in _running_malleable(oar):
+            extra = job.width - job.request.parts[0].count
+            if extra > 0:
+                freed.update(oar.shrink(job, extra, replan=False))
+        if freed:
+            oar.replan_now(freed)
+
+    def _expand(self, oar: "OarServer") -> None:
+        """Round-robin grow: one node per job per round until the pool or
+        every job's headroom is exhausted."""
+        while True:
+            granted = False
+            for job in _running_malleable(oar):
+                if job.width >= job.max_nodes:
+                    continue
+                candidates = oar.grow_candidates(job)
+                if not candidates:
+                    continue
+                oar.grow(job, candidates[:1])
+                granted = True
+            if not granted:
+                return
+
+
+@register_strategy
+class StealAgreementStrategy(CommonPoolStrategy):
+    """Common-pool plus queued jobs negotiating nodes away from running
+    malleable jobs above their minimum."""
+
+    name = "steal-agreement"
+
+    def elastic_tick(self, oar: "OarServer") -> None:
+        self._evict_dead(oar)
+        pressure = oar.queued_jobs(self.queue_slack_s)
+        if pressure:
+            self._reclaim(oar, pressure)
+            self._negotiate(oar, oar.queued_jobs(self.queue_slack_s))
+        self._expand(oar)
+
+    def _negotiate(self, oar: "OarServer", queued: list["Job"]) -> None:
+        """One steal round, FCFS over the queued jobs.
+
+        For each queued single-part job, count the matching nodes free
+        right now; if short, ask the running malleable jobs (again FCFS)
+        to cede width from nodes the queued job can use.  All-or-nothing:
+        donors only shrink when the combined offer covers the deficit, so
+        a failed negotiation leaves every allocation untouched.
+        """
+        now = oar.sim.now
+        for job in queued:
+            if len(job.request.parts) != 1:
+                continue
+            part = job.request.parts[0]
+            if not isinstance(part.count, int):
+                continue  # nodes=ALL cannot be bargained for
+            needed = part.count
+            candidates = [u for u in oar._matching(part.expr)
+                          if oar.node_state(u) == "Alive"]
+            if not candidates:
+                continue
+            window = max(job.walltime_s, 1.0)
+            have = sum(1 for u in candidates
+                       if oar.gantt.is_free(u, now, now + window))
+            deficit = needed - have
+            if deficit <= 0:
+                continue  # the ordinary replan can already place it
+            usable = set(candidates)
+            offers: list[tuple["Job", list[str]]] = []
+            offered = 0
+            for donor in _running_malleable(oar):
+                floor = self._feasible_floor(donor, now)
+                room = donor.width - floor
+                if room <= 0:
+                    continue
+                # Only nodes the queued job can actually use, newest first
+                # (mirrors shrink's tail-first release order).
+                givable = [u for u in reversed(donor.assignment[0])
+                           if u in usable][:room]
+                if not givable:
+                    continue
+                take = min(len(givable), deficit - offered)
+                offers.append((donor, givable[:take]))
+                offered += take
+                if offered >= deficit:
+                    break
+            if offered < deficit:
+                continue  # no agreement: nobody cedes anything
+            freed: set[str] = set()
+            for donor, uids in offers:
+                freed.update(oar.shrink(donor, len(uids), prefer=set(uids),
+                                        replan=False))
+            oar.replan_now(freed)
+
+    @staticmethod
+    def _feasible_floor(donor: "Job", now: float) -> int:
+        """Narrowest width at which the donor still finishes in walltime.
+
+        Below this, a steal would turn a job that was going to finish into
+        a walltime kill — a trade no agreement should make.
+        """
+        floor = donor.min_nodes
+        if donor.auto_duration is None:
+            return floor
+        deadline = donor.started_at + donor.walltime_s
+        wall_left = deadline - now
+        if wall_left <= 0:
+            return donor.width
+        if donor.mass_remaining is not None:
+            mass = donor.mass_remaining \
+                - (now - donor.mass_accrued_at) * donor.width
+        else:
+            mass = (donor.auto_duration
+                    - (now - donor.started_at)) * donor.width
+        if mass <= 0:
+            return floor
+        return max(floor, min(donor.width,
+                              math.ceil(mass / wall_left - 1e-9)))

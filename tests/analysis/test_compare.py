@@ -117,3 +117,75 @@ def test_compare_runs_end_to_end():
     # 15x the fault backlog must show up as more injected faults
     assert by_metric["faults_injected"].delta > 0
     assert set(deltas) == {"cmp-stormy"}
+
+
+# -- policy scoreboard ---------------------------------------------------------
+
+
+def test_scoreboard_ranks_ascending_with_leader_first():
+    from repro.analysis import scoreboard
+
+    agg = aggregated(
+        slow={"turnaround_mean_s": summary(300.0, ci95=5.0)},
+        fast={"turnaround_mean_s": summary(100.0, ci95=5.0)},
+        mid={"turnaround_mean_s": summary(200.0, ci95=5.0)},
+    )
+    rows = scoreboard(agg, metric="turnaround_mean_s", extras=())
+    assert [r.name for r in rows] == ["fast", "mid", "slow"]
+    assert [r.rank for r in rows] == [1, 2, 3]
+    assert rows[0].delta_vs_leader == 0.0
+    assert rows[1].delta_vs_leader == pytest.approx(100.0)
+    assert rows[1].significant_vs_leader  # disjoint CIs, n=3 both sides
+    assert rows[2].significant_vs_leader
+
+
+def test_scoreboard_descending_and_overlap():
+    from repro.analysis import scoreboard
+
+    agg = aggregated(
+        a={"node_utilization": summary(0.60, ci95=0.05)},
+        b={"node_utilization": summary(0.62, ci95=0.05)},
+    )
+    rows = scoreboard(agg, metric="node_utilization", ascending=False,
+                      extras=())
+    assert [r.name for r in rows] == ["b", "a"]
+    assert not rows[1].significant_vs_leader  # CIs overlap
+
+
+def test_scoreboard_no_sample_sorts_last():
+    from repro.analysis import scoreboard
+
+    agg = aggregated(
+        broken={"m": summary(float("nan"), n=0)},
+        works={"m": summary(10.0)},
+    )
+    rows = scoreboard(agg, metric="m", extras=())
+    assert [r.name for r in rows] == ["works", "broken"]
+    assert not rows[1].significant_vs_leader
+
+
+def test_scoreboard_unknown_metric_raises():
+    from repro.analysis import scoreboard
+
+    with pytest.raises(KeyError, match="no-such"):
+        scoreboard(aggregated(a={"m": summary(1.0)}), metric="no-such")
+
+
+def test_format_scoreboard_marks_leader_and_significance():
+    from repro.analysis import format_scoreboard, scoreboard
+
+    agg = aggregated(
+        slow={"m": summary(300.0, ci95=5.0),
+              "jobs_completed": summary(50.0)},
+        fast={"m": summary(100.0, ci95=5.0),
+              "jobs_completed": summary(70.0)},
+    )
+    text = format_scoreboard(
+        scoreboard(agg, metric="m", extras=("jobs_completed",)),
+        metric="m")
+    lines = text.splitlines()
+    assert "m" in lines[0]
+    assert "►" in lines[1] and "fast" in lines[1]
+    assert "*" in lines[2] and "slow" in lines[2]
+    assert "jobs_completed=70" in lines[1]
+    assert format_scoreboard([], metric="m") == "(empty scoreboard)"

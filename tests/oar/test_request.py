@@ -186,3 +186,77 @@ def test_request_str_round_trips(parts, walltime):
         tuple(RequestPart(e, c) for e, c in parts), float(walltime)
     )
     assert parse_request(str(req)) == req
+
+
+# -- unit: elastic width ranges ------------------------------------------------
+
+
+def test_elastic_range_two_values():
+    """``lo..hi`` anchors the preferred width at the minimum."""
+    req = parse_request("nodes=2..8")
+    part = req.parts[0]
+    assert (part.min_nodes, part.count, part.max_nodes) == (2, 2, 8)
+    assert part.malleable
+
+
+def test_elastic_range_three_values():
+    req = parse_request("cluster='grisou'/nodes=2..4..8,walltime=2")
+    part = req.parts[0]
+    assert (part.min_nodes, part.count, part.max_nodes) == (2, 4, 8)
+    assert part.malleable
+
+
+def test_rigid_part_degenerate_bounds():
+    part = parse_request("nodes=4").parts[0]
+    assert (part.min_nodes, part.count, part.max_nodes) == (4, 4, 4)
+    assert not part.malleable
+
+
+def test_degenerate_range_normalizes_to_rigid():
+    """``nodes=3..3`` is a point range: identical to ``nodes=3``."""
+    assert parse_request("nodes=3..3") == parse_request("nodes=3")
+    assert parse_request("nodes=3..3..3") == parse_request("nodes=3")
+
+
+def test_elastic_range_round_trips():
+    for text in ("nodes=2..8", "nodes=2..4..8",
+                 "cluster='a'/nodes=1..2..3,walltime=1:30"):
+        req = parse_request(text)
+        assert parse_request(str(req)) == req
+
+
+def test_elastic_range_bad_ordering_rejected():
+    for bad in ("nodes=8..2", "nodes=4..2..8", "nodes=2..9..8",
+                "nodes=0..4", "nodes=2..4..8..16"):
+        with pytest.raises(ParseError):
+            parse_request(bad)
+
+
+def test_all_cannot_appear_in_a_range():
+    for bad in ("nodes=ALL..8", "nodes=2..ALL", "nodes=2..4..ALL"):
+        with pytest.raises(ParseError):
+            parse_request(bad)
+
+
+def test_request_part_validates_bounds():
+    from repro.oar import RequestPart
+
+    with pytest.raises(ValueError):
+        RequestPart(None, 4, min_count=5, max_count=8)  # count < min
+    with pytest.raises(ValueError):
+        RequestPart(None, 4, min_count=2, max_count=3)  # count > max
+    with pytest.raises(ValueError):
+        RequestPart(None, ALL_NODES, min_count=1, max_count=2)  # ALL range
+
+
+@given(
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=50),
+)
+def test_elastic_range_str_round_trips(pref, below, above):
+    lo, hi = max(1, pref - below), pref + above
+    req = parse_request(f"nodes={lo}..{pref}..{hi}")
+    part = req.parts[0]
+    assert (part.min_nodes, part.count, part.max_nodes) == (lo, pref, hi)
+    assert parse_request(str(req)) == req

@@ -296,3 +296,123 @@ def test_recorded_run_replays_with_identical_job_count(tmp_path):
     fw2, report2 = run_scenario(replay_spec, seed=2, months=0.05)
     assert json.dumps(report1.to_dict(), sort_keys=True) == \
         json.dumps(report2.to_dict(), sort_keys=True)
+
+
+# -- allocated vs requested processors (SWF fields 5 and 8) --------------------
+
+
+def test_parse_swf_carries_allocated_alongside_requested():
+    trace = parse_swf(_SWF_SAMPLE, name="sample")
+    first, second, third = trace.records
+    assert (first.nodes, first.alloc_nodes) == (4, 4)
+    assert (second.nodes, second.alloc_nodes) == (8, 8)  # req -1 -> alloc
+    assert (third.nodes, third.alloc_nodes) == (2, 2)
+
+
+def test_parse_swf_missing_alloc_is_none():
+    line = "1 0 10 3600 -1 -1 -1 4 7200 -1 1 7 -1 -1 -1 -1 -1 -1"
+    (rec,) = parse_swf(line).records
+    assert rec.nodes == 4 and rec.alloc_nodes is None
+
+
+def test_swf_round_trip_preserves_both_processor_fields():
+    trace = WorkloadTrace((
+        TraceRecord(submit_s=0.0, nodes=4, walltime_s=3600.0, run_s=600.0,
+                    job_id=1, alloc_nodes=3),
+        TraceRecord(submit_s=60.0, nodes=2, walltime_s=1800.0, run_s=300.0,
+                    job_id=2),  # no allocation recorded
+    ))
+    text = trace_to_swf(trace)
+    row1, row2 = [l.split() for l in text.splitlines()
+                  if not l.startswith(";")]
+    # field 5 (index 4) = allocated (falls back to requested), field 8
+    # (index 7) = requested
+    assert (row1[4], row1[7]) == ("3", "4")
+    assert (row2[4], row2[7]) == ("2", "2")
+    back = parse_swf(text)
+    assert [(r.nodes, r.alloc_nodes) for r in back] == [(4, 3), (2, 2)]
+
+
+def test_jsonl_round_trip_preserves_alloc_nodes(tmp_path):
+    trace = WorkloadTrace((
+        TraceRecord(submit_s=0.0, nodes=4, walltime_s=3600.0, run_s=600.0,
+                    alloc_nodes=3),
+        TraceRecord(submit_s=60.0, nodes=2, walltime_s=1800.0, run_s=300.0),
+    ), name="alloc")
+    path = tmp_path / "alloc.jsonl"
+    save_trace(trace, path)
+    back = load_trace(path)
+    assert [(r.nodes, r.alloc_nodes) for r in back] == [(4, 3), (2, None)]
+    # Records without an allocation serialize without the key at all, so
+    # pre-existing JSONL traces remain byte-identical.
+    docs = [json.loads(l) for l in path.read_text().splitlines()[1:]]
+    assert "alloc_nodes" in docs[0] and "alloc_nodes" not in docs[1]
+
+
+def test_scaling_preserves_alloc_nodes():
+    trace = WorkloadTrace((
+        TraceRecord(submit_s=10.0, nodes=4, walltime_s=3600.0, run_s=600.0,
+                    alloc_nodes=3),
+    ))
+    scaled = trace.rebased().scaled(time_scale=0.5, load_scale=2.0)
+    assert [r.alloc_nodes for r in scaled.records] == [3, 3]
+
+
+# -- elastic replay ------------------------------------------------------------
+
+
+def test_elastic_replay_widens_requests_into_ranges():
+    sim, oar, testbed, _ = make_world()
+    replay = TraceReplayGenerator(sim, oar, simple_trace(), testbed=testbed,
+                                  elastic_min_scale=0.5,
+                                  elastic_max_scale=2.0)
+    replay.start()
+    sim.run(until=DAY)
+    jobs = [oar.jobs[i] for i in sorted(oar.jobs)]
+    parts = [j.request.parts[0] for j in jobs]  # bob(1), alice(2), carol(4)
+    assert [(p.min_nodes, p.count, p.max_nodes) for p in parts] == \
+        [(1, 1, 2), (1, 2, 4), (2, 4, 8)]
+    assert all(p.malleable for p in parts)
+    # Placement stays at the preferred width.
+    assert [len(j.assigned_nodes) for j in jobs] == [1, 2, 4]
+
+
+def test_elastic_replay_clamps_range_to_cluster_size():
+    sim, oar, testbed, _ = make_world(clusters=("grimoire",))  # 8 nodes
+    trace = WorkloadTrace((
+        TraceRecord(submit_s=0.0, nodes=6, walltime_s=3600.0, run_s=60.0,
+                    cluster="grimoire"),
+    ))
+    replay = TraceReplayGenerator(sim, oar, trace, testbed=testbed,
+                                  elastic_min_scale=0.5,
+                                  elastic_max_scale=2.0)
+    replay.start()
+    sim.run(until=HOUR)
+    (job,) = oar.jobs.values()
+    part = job.request.parts[0]
+    assert (part.min_nodes, part.count, part.max_nodes) == (3, 6, 8)
+
+
+def test_default_scales_replay_rigid_requests():
+    sim, oar, testbed, _ = make_world()
+    replay = TraceReplayGenerator(sim, oar, simple_trace(), testbed=testbed)
+    replay.start()
+    sim.run(until=DAY)
+    assert not any(j.request.parts[0].malleable for j in oar.jobs.values())
+
+
+def test_trace_replay_config_validates_elastic_scales():
+    with pytest.raises(ValueError, match="elastic_min_scale"):
+        TraceReplayConfig(elastic_min_scale=1.5)
+    with pytest.raises(ValueError, match="elastic_min_scale"):
+        TraceReplayConfig(elastic_min_scale=0.0)
+    with pytest.raises(ValueError, match="elastic_max_scale"):
+        TraceReplayConfig(elastic_max_scale=0.5)
+
+
+def test_elastic_burst_preset_round_trips():
+    spec = scenarios.get("elastic-burst")
+    assert spec.workload.elastic_min_scale == 0.5
+    assert spec.workload.elastic_max_scale == 2.0
+    back = scenarios.ScenarioSpec.from_json(spec.to_json())
+    assert back == spec

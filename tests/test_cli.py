@@ -256,3 +256,75 @@ def test_run_trace_preset_end_to_end(capsys):
                            "--months", "0.1", "--seeds", "0", "--quiet")
     assert code == 0
     assert "trace-replay" in out
+
+
+def test_run_with_strategy_override(capsys):
+    code, out, _ = run_cli(capsys, "run", "tiny-smoke", "--months", "0.05",
+                           "--seeds", "0", "--strategy", "easy-backfill",
+                           "--json", "--quiet")
+    assert code == 0
+    (doc,) = json.loads(out)
+    assert doc["report"]["strategy"] == "easy-backfill"
+
+
+def test_run_with_unknown_strategy(capsys):
+    code, _, err = run_cli(capsys, "run", "tiny-smoke", "--strategy",
+                           "no-such-policy", "--quiet")
+    assert code == 2
+    assert "no-such-policy" in err
+    assert "easy-backfill" in err  # the error lists the known names
+
+
+def test_run_help_lists_strategies(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "easy-backfill" in out and "steal-agreement" in out
+
+
+def test_scoreboard_subcommand(capsys):
+    code, out, err = run_cli(
+        capsys, "scoreboard", "elastic-burst", "--months", "0.05",
+        "--seeds", "0", "--strategies", "easy-backfill,common-pool",
+        "--quiet")
+    assert code == 0
+    lines = out.splitlines()
+    assert "turnaround_mean_s" in lines[0]
+    assert "►" in lines[1]
+    # Both contenders present, keyed scenario+strategy.
+    assert any("elastic-burst+easy-backfill" in l for l in lines)
+    assert any("elastic-burst+common-pool" in l for l in lines)
+
+
+def test_scoreboard_json_and_store_resume(tmp_path, capsys):
+    store = str(tmp_path / "sb.jsonl")
+    code, out, _ = run_cli(
+        capsys, "scoreboard", "elastic-burst", "--months", "0.05",
+        "--seeds", "0", "--strategies", "easy-backfill,common-pool",
+        "--store", store, "--json")
+    assert code == 0
+    docs = json.loads(out)
+    assert [d["rank"] for d in docs] == [1, 2]
+    assert all(d["metric"] == "turnaround_mean_s" for d in docs)
+    assert docs[0]["mean"] <= docs[1]["mean"]
+    # Resume pays nothing: every cell comes back cached.
+    code, _, err = run_cli(
+        capsys, "scoreboard", "elastic-burst", "--months", "0.05",
+        "--seeds", "0", "--strategies", "easy-backfill,common-pool",
+        "--store", store, "--resume")
+    assert code == 0
+    assert err.count("cached") == 2
+
+
+def test_scoreboard_unknown_strategy(capsys):
+    code, _, err = run_cli(capsys, "scoreboard", "--strategies",
+                           "easy-backfill,bogus")
+    assert code == 2
+    assert "bogus" in err
+
+
+def test_scoreboard_empty_strategies(capsys):
+    code, _, err = run_cli(capsys, "scoreboard", "--strategies", ",")
+    assert code == 2
+    assert "empty" in err
