@@ -7,9 +7,10 @@ intervals.  ``run_campaigns`` fans a seed x scenario matrix across worker
 processes and ``summarize_runs`` reports mean ± 95 % CI per metric.
 
 Every finished cell is archived to a ``CampaignStore`` (JSONL, written
-next to the current directory) as it streams in, so re-running this
-script resumes instead of recomputing — delete the store file to start
-cold.
+under ``examples/results/`` next to this script) as it streams in, so
+re-running this script resumes instead of recomputing — delete the store
+file to start cold.  The results directory is gitignored: run artifacts
+never land in the repo root.
 
 Run:  python examples/batch_sweep.py [n_seeds] [workers]
       (defaults: 4 seeds, one worker per matrix cell up to cpu_count)
@@ -21,12 +22,14 @@ from pathlib import Path
 
 from repro import run_campaigns, scenarios, summarize_runs
 
-STORE = Path("batch_sweep_store.jsonl")
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+STORE = RESULTS_DIR / "batch_sweep_store.jsonl"
 
 
 def main() -> None:
     n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 4
     workers = int(sys.argv[2]) if len(sys.argv) > 2 else None
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
     # Two contrasting worlds, shrunk to the smoke testbed so the sweep
     # finishes in seconds; drop the derive() calls for the full-size study.
@@ -52,7 +55,7 @@ def main() -> None:
                          store=STORE, resume=True, on_cell=progress)
     elapsed = time.perf_counter() - t0
     print(f"{len(runs)} campaigns in {elapsed:.1f}s wall-clock "
-          f"(re-run to resume from the store)\n")
+          "(re-run to resume from the store)\n")
 
     print("aggregate (mean ± 95% CI across seeds):")
     print(summarize_runs(runs))

@@ -22,6 +22,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-campaign = repro.cli:main",
+            "repro-lint = repro.analysis.static.cli:main",
         ],
     },
 )

@@ -207,7 +207,7 @@ def format_scoreboard(rows: Sequence[ScoreboardRow],
         return "(empty scoreboard)"
     name_w = max(len(r.name) for r in rows)
     lines = [f"scoreboard on {metric} (► leader, * resolved at 95 %, "
-             f"~ unresolved)"]
+             "~ unresolved)"]
     for r in rows:
         mark = "►" if r.rank == 1 else ("*" if r.significant_vs_leader else "~")
         if r.summary.n == 0 or math.isnan(r.summary.mean):

@@ -1,0 +1,29 @@
+"""detlint: determinism & kernel-protocol static analysis.
+
+The repo's headline guarantee is byte-for-byte determinism; this package
+turns the coding rules behind that guarantee (no wall clocks, no stray
+randomness, no unordered iteration in scheduling paths, kernel yield
+protocol, no shared mutable dataclass defaults) into an enforceable CI
+gate.  See ``repro-lint --list-rules`` for the catalogue.
+"""
+
+from .baseline import (apply_baseline, baseline_from_findings, load_baseline,
+                       save_baseline)
+from .engine import analyze_file, analyze_paths, analyze_source
+from .findings import Finding
+from .rules import RULES, Rule, RuleContext, register
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RuleContext",
+    "RULES",
+    "register",
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+    "baseline_from_findings",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.analysis.static`` — same as the ``repro-lint`` script."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,89 @@
+"""Committed JSON baseline of grandfathered detlint findings.
+
+The baseline is the escape hatch that lets the CI gate land on an
+imperfect codebase without a flag day: existing findings are recorded
+(fingerprinted by rule + path + line content, with a count per
+fingerprint so identical lines are budgeted, not blanket-allowed) and
+only *new* findings fail the gate.  The update protocol mirrors the
+golden-hash one: regenerate with ``repro-lint --update-baseline``, eyeball
+the diff, and justify it in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "save_baseline", "apply_baseline",
+           "baseline_from_findings"]
+
+_VERSION = 1
+
+
+def baseline_from_findings(findings: Iterable[Finding]) -> dict:
+    """Build a baseline document from the current findings."""
+    entries: Dict[str, dict] = {}
+    for f in sorted(findings):
+        entry = entries.get(f.fingerprint)
+        if entry is None:
+            entries[f.fingerprint] = {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "line_text": f.line_text,
+                "count": 1,
+            }
+        else:
+            entry["count"] += 1
+    return {
+        "version": _VERSION,
+        "tool": "detlint",
+        "findings": sorted(entries.values(),
+                           key=lambda e: (e["path"], e["rule"],
+                                          e["fingerprint"])),
+    }
+
+
+def save_baseline(path: str, doc: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("version") != _VERSION or "findings" not in doc:
+        raise ValueError(f"{path}: not a detlint v{_VERSION} baseline")
+    return doc
+
+
+def apply_baseline(findings: Iterable[Finding], doc: dict,
+                   ) -> Tuple[List[Finding], List[Finding], List[dict]]:
+    """Split findings into (new, baselined); also return stale entries.
+
+    Each baseline fingerprint carries a count budget; findings beyond the
+    budget (a grandfathered line was duplicated) count as new.  Stale
+    entries — fingerprints with leftover budget — signal the offending
+    line was fixed or edited and the baseline deserves a regeneration.
+    """
+    budget: Dict[str, int] = {}
+    entries: Dict[str, dict] = {}
+    for entry in doc.get("findings", []):
+        fp = entry["fingerprint"]
+        budget[fp] = budget.get(fp, 0) + int(entry.get("count", 1))
+        entries[fp] = entry
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for f in sorted(findings):
+        fp = f.fingerprint
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            baselined.append(f)
+        else:
+            new.append(f)
+    stale = [entries[fp] for fp, left in sorted(budget.items())
+             if left > 0]
+    return new, baselined, stale

@@ -1,0 +1,133 @@
+"""The ``repro-lint`` command line (also ``python -m repro.analysis.static``).
+
+Exit codes: 0 clean (every finding baselined or suppressed), 1 new
+findings, 2 usage error.  ``--json`` emits a machine-readable report (the
+CI lint job uploads it as an artifact); ``--update-baseline`` rewrites the
+committed baseline from the current findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .baseline import (apply_baseline, baseline_from_findings, load_baseline,
+                       save_baseline)
+from .engine import analyze_paths
+from .rules import RULES
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = "detlint-baseline.json"
+DEFAULT_PATHS = ("src/repro",)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism & kernel-protocol static analysis "
+                    "for the repro codebase")
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to lint "
+                             f"(default: {DEFAULT_PATHS[0]})")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="baseline JSON of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE} if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline: report every finding")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "findings and exit 0")
+    parser.add_argument("--select", action="append", metavar="RULE",
+                        help="only run the named rule (repeatable)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a JSON report on stdout")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _list_rules() -> None:
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        scope = ", ".join(rule.scope) if rule.scope else "all files"
+        print(f"{rule_id}  {rule.title}  [{scope}]")
+        print(f"        {rule.rationale}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    rules = None
+    if args.select:
+        unknown = sorted(set(r.upper() for r in args.select) - set(RULES))
+        if unknown:
+            print(f"repro-lint: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        rules = [RULES[r.upper()] for r in args.select]
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    findings, suppressed = analyze_paths(args.paths, rules)
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.update_baseline:
+        save_baseline(baseline_path, baseline_from_findings(findings))
+        print(f"repro-lint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    baseline_doc = {"version": 1, "findings": []}
+    if not args.no_baseline:
+        if os.path.exists(baseline_path):
+            baseline_doc = load_baseline(baseline_path)
+        elif args.baseline is not None:
+            print(f"repro-lint: baseline not found: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+    new, baselined, stale = apply_baseline(findings, baseline_doc)
+
+    if args.as_json:
+        report = {
+            "tool": "detlint",
+            "paths": list(args.paths),
+            "findings": [dict(f.to_dict(), baselined=(f in baselined))
+                         for f in findings],
+            "summary": {
+                "new": len(new),
+                "baselined": len(baselined),
+                "suppressed": suppressed,
+                "stale_baseline_entries": len(stale),
+            },
+        }
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        for f in new:
+            print(f.format())
+        parts = [f"{len(new)} new finding(s)"]
+        if baselined:
+            parts.append(f"{len(baselined)} baselined")
+        if suppressed:
+            parts.append(f"{suppressed} suppressed")
+        if stale:
+            parts.append(f"{len(stale)} stale baseline entr"
+                         f"{'y' if len(stale) == 1 else 'ies'} "
+                         "(run --update-baseline)")
+        print(f"repro-lint: {', '.join(parts)}")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""detlint engine: file walking, suppression comments, rule dispatch.
+
+Suppression syntax (mirrors the usual linter idiom):
+
+* ``# detlint: disable=DET002`` at the end of a line suppresses the named
+  rule(s) (comma-separated) on that line only.
+* ``# detlint: disable`` with no ``=`` suppresses every rule on the line.
+* ``# detlint: skip-file`` anywhere in the first ten lines skips the file.
+
+Suppressions are deliberate, reviewable markers — the expectation is a
+short justification in the same comment, e.g.
+``# detlint: disable=DET002 — host-side readiness poll, not sim time``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .rules import RULES, Rule, RuleContext
+
+__all__ = ["analyze_source", "analyze_file", "analyze_paths",
+           "iter_python_files", "parse_suppressions"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*detlint:\s*disable(?:=(?P<rules>[A-Za-z0-9_,\s]+))?")
+_SKIP_FILE_RE = re.compile(r"#\s*detlint:\s*skip-file")
+_SKIP_FILE_WINDOW = 10
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line numbers to suppressed rule ids (None = all rules)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        raw = m.group("rules")
+        if raw is None:
+            out[i] = None
+        else:
+            out[i] = {r.strip().upper() for r in raw.split(",") if r.strip()}
+    return out
+
+
+_NO_MARKER = frozenset()
+
+
+def _is_suppressed(finding: Finding,
+                   suppressions: Dict[int, Optional[Set[str]]]) -> bool:
+    rules = suppressions.get(finding.line, _NO_MARKER)
+    if rules is _NO_MARKER:  # no marker on this line
+        return False
+    return rules is None or finding.rule in rules
+
+
+def analyze_source(source: str, path: str,
+                   rules: Optional[Iterable[Rule]] = None,
+                   ) -> Tuple[List[Finding], int]:
+    """Lint one source blob; returns (findings, suppressed_count)."""
+    lines = source.splitlines()
+    if any(_SKIP_FILE_RE.search(line)
+           for line in lines[:_SKIP_FILE_WINDOW]):
+        return [], 0
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        bad = Finding(path=path, line=exc.lineno or 1,
+                      col=(exc.offset or 0) + 1, rule="SYNTAX",
+                      message=f"file does not parse: {exc.msg}",
+                      line_text="")
+        return [bad], 0
+    suppressions = parse_suppressions(lines)
+    ctx = RuleContext(path, lines)
+    active = list(RULES.values()) if rules is None else list(rules)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in active:
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(tree, ctx):
+            if _is_suppressed(finding, suppressions):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    findings.sort()
+    return findings, suppressed
+
+
+def analyze_file(path: str,
+                 rules: Optional[Iterable[Rule]] = None,
+                 ) -> Tuple[List[Finding], int]:
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    return analyze_source(source, _normalize(path), rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a deterministic sorted file list."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def _normalize(path: str) -> str:
+    """Posix, cwd-relative when possible — fingerprints must not depend on
+    the machine's absolute checkout location."""
+    rel = os.path.relpath(path)
+    if not rel.startswith(".."):
+        path = rel
+    return path.replace(os.sep, "/")
+
+
+def analyze_paths(paths: Iterable[str],
+                  rules: Optional[Iterable[Rule]] = None,
+                  ) -> Tuple[List[Finding], int]:
+    """Lint files and directories; returns (findings, suppressed_count)."""
+    findings: List[Finding] = []
+    suppressed = 0
+    for file_path in iter_python_files(paths):
+        found, skipped = analyze_file(file_path, rules)
+        findings.extend(found)
+        suppressed += skipped
+    findings.sort()
+    return findings, suppressed

@@ -1,0 +1,49 @@
+"""Finding model shared by the detlint engine, baseline and CLI.
+
+A finding is anchored to a *source line's content*, not just its number:
+the :attr:`Finding.fingerprint` hashes ``rule | path | stripped line``, so
+a baseline entry survives unrelated edits that shift line numbers and only
+goes stale when the offending line itself changes (at which point the
+author must either fix it or consciously re-baseline — the same contract
+as the golden determinism hashes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: The stripped source line the finding points at (fingerprint anchor).
+    line_text: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content-addressed id used for baseline matching."""
+        raw = f"{self.rule}|{self.path}|{self.line_text}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def format(self) -> str:
+        """Human one-liner: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

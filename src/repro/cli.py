@@ -264,7 +264,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             store = args.store  # fresh store: run_campaigns creates it
     total = len(specs) * len(args.seeds)
     done = [0]
-    t0 = time.perf_counter()
+    # Host-side progress timing: printed to stderr, never in a report.
+    t0 = time.perf_counter()  # detlint: disable=DET002 — wall-clock UX only
 
     def progress(run: CampaignRun, cached: bool) -> None:
         done[0] += 1
@@ -273,7 +274,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         status = ("cached" if cached else
                   "ok" if run.ok else "FAILED")
         print(f"[{done[0]}/{total}] {run.scenario} @ seed {run.seed}: "
-              f"{status} ({time.perf_counter() - t0:.1f}s)", file=sys.stderr)
+              f"{status} ({time.perf_counter() - t0:.1f}s)",  # detlint: disable=DET002
+              file=sys.stderr)
 
     try:
         runs = run_campaigns(specs, seeds=args.seeds,
@@ -350,7 +352,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         return 2
     if not deltas:
         print(f"store only holds the baseline scenario {args.baseline!r}; "
-              f"nothing to compare", file=sys.stderr)
+              "nothing to compare", file=sys.stderr)
         return 1
     print(format_comparison(deltas, baseline=args.baseline,
                             only_significant=args.significant))
@@ -386,7 +388,8 @@ def _cmd_scoreboard(args: argparse.Namespace) -> int:
             store = args.store
     total = len(specs) * len(args.seeds)
     done = [0]
-    t0 = time.perf_counter()
+    # Host-side progress timing: printed to stderr, never in a report.
+    t0 = time.perf_counter()  # detlint: disable=DET002 — wall-clock UX only
 
     def progress(run: CampaignRun, cached: bool) -> None:
         done[0] += 1
@@ -394,7 +397,8 @@ def _cmd_scoreboard(args: argparse.Namespace) -> int:
             return
         status = "cached" if cached else "ok" if run.ok else "FAILED"
         print(f"[{done[0]}/{total}] {run.scenario} @ seed {run.seed}: "
-              f"{status} ({time.perf_counter() - t0:.1f}s)", file=sys.stderr)
+              f"{status} ({time.perf_counter() - t0:.1f}s)",  # detlint: disable=DET002
+              file=sys.stderr)
 
     runs = run_campaigns(specs, seeds=args.seeds, workers=args.workers,
                          months=args.months, store=store,
@@ -507,7 +511,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = service.address
     store_msg = args.store if args.store else "in-memory (volatile)"
     print(f"repro-sim serving on {host}:{port} (store: {store_msg}); "
-          f"Ctrl-C to stop", file=sys.stderr)
+          "Ctrl-C to stop", file=sys.stderr)
     try:
         service.serve_forever()
     except KeyboardInterrupt:

@@ -342,7 +342,7 @@ def aggregate_runs(
             raise ValueError(
                 f"scenario name {scenario!r} covers {len(hashes)} different "
                 f"specs ({', '.join(sorted(hashes))}); aggregating them into "
-                f"one CI would be meaningless — rename one of the specs")
+                "one CI would be meaningless — rename one of the specs")
     out: dict[str, dict[str, MetricSummary]] = {}
     for scenario, cell_runs in by_scenario.items():
         metrics: dict[str, MetricSummary] = {}

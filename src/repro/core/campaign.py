@@ -125,7 +125,7 @@ class CampaignReport:
             f"open: {self.bugs_open}, unexplained: {self.bugs_unexplained})",
             f"  ground truth: {self.faults_injected} faults injected, "
             f"{self.faults_detected} detected, {self.faults_active_end} still active",
-            f"  detection latency (median): "
+            "  detection latency (median): "
             f"{self.detection_latency_days_median:.1f} days",
             f"  success rate: {self.first_month_success:.0%} (first month) "
             f"-> {self.last_month_success:.0%} (last month)",

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..faults.services import ServiceHealth
 from ..testbed.topology import NetworkTopology

@@ -16,7 +16,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..util.errors import SchedulingError
 
@@ -42,7 +42,7 @@ class NodeTimeline:
     def __len__(self) -> int:
         return len(self._reservations)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Reservation]:
         return iter(self._reservations)
 
     def is_free(self, start: float, end: float) -> bool:
@@ -154,7 +154,7 @@ class NodeTimeline:
         prev = after
         if idx > 0 and reservations[idx - 1].end > after:
             prev = reservations[idx - 1].end
-        out = []
+        out: list[tuple[float, float]] = []
         for i in range(idx, len(reservations)):
             r = reservations[i]
             if r.start > prev:
@@ -175,7 +175,7 @@ class NodeTimeline:
 class Gantt:
     """Timelines for a set of nodes."""
 
-    def __init__(self, node_uids: Iterable[str]):
+    def __init__(self, node_uids: Iterable[str]) -> None:
         self._timelines: dict[str, NodeTimeline] = {uid: NodeTimeline() for uid in node_uids}
 
     def timeline(self, uid: str) -> NodeTimeline:
@@ -217,7 +217,8 @@ class Gantt:
 
     def earliest_start(self, uids: Iterable[str], after: float,
                        duration: float, k: int,
-                       intervals_cache: Optional[dict] = None,
+                       intervals_cache: Optional[
+                           dict[str, list[tuple[float, float]]]] = None,
                        ) -> Optional[float]:
         """Earliest ``t >= after`` when ``k`` of the nodes are simultaneously
         free over ``[t, t + duration)``.
@@ -264,7 +265,7 @@ class Gantt:
                 if worst == t:
                     return t
                 t = worst
-        interval_lists = []
+        interval_lists: list[list[tuple[float, float]]] = []
         fits_now = idle
         for uid, tl in zip(uids, timelines):
             if not tl._reservations:

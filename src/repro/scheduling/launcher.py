@@ -24,7 +24,7 @@ in :mod:`repro.scheduling.pernode`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..checksuite.base import CheckFamily

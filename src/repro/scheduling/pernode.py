@@ -55,7 +55,7 @@ class PerNodeVariant(CheckFamily):
         outcome.config = dict(config, node=node_uid)
         job = yield from self.reserve(
             ctx, f"network_address='{node_uid}.{ctx.testbed.cluster(cluster).site}"
-                 f".grid5000.fr'/nodes=1,walltime=1")
+                 ".grid5000.fr'/nodes=1,walltime=1")
         if job is None:
             outcome.resources_blocked = True
             outcome.passed = False

@@ -85,8 +85,10 @@ class SimulatorService:
 def wait_until_ready(host: str, port: int, timeout_s: float = 10.0) -> bool:
     """Poll until the service accepts connections (CI readiness gate)."""
     import time
-    deadline = time.monotonic() + timeout_s
-    while time.monotonic() < deadline:
+    # Real time, deliberately: this polls the host TCP stack before any
+    # simulation exists, so the determinism contract does not apply.
+    deadline = time.monotonic() + timeout_s  # detlint: disable=DET002
+    while time.monotonic() < deadline:  # detlint: disable=DET002
         try:
             with socket.create_connection((host, port), timeout=1.0):
                 return True

@@ -196,7 +196,7 @@ class Session:
     def _do_helo(self, msg: Message) -> bool:
         if msg.args[0] != PROTOCOL_VERSION:
             raise ProtocolError(
-                "proto", f"version mismatch: server speaks "
+                "proto", "version mismatch: server speaks "
                 f"{PROTOCOL_VERSION}, client offered {msg.args[0]}")
         self.greeted = True
         if len(msg.args) > 1:
@@ -288,7 +288,7 @@ class Session:
                     if cell is None:
                         raise ProtocolError(
                             "arg", f"cell {msg.args[0]} not due (or already "
-                            f"decided) this tick")
+                            "decided) this tick")
                     if verb == "SCHD":
                         view.launch(cell)
                     else:

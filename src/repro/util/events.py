@@ -77,7 +77,7 @@ class Interrupt(Exception):
     ``cause`` carries whatever object the interrupter supplied.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -94,7 +94,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_triggered", "value", "_is_error")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._triggered = False
@@ -185,7 +185,7 @@ class Timeout(Event):
 
     __slots__ = ("delay", "_proc", "_ptoken", "_heap_seq", "_dead")
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         # Inlined Event.__init__ + scheduling: this runs once per yield in
@@ -260,7 +260,7 @@ class AnyOf(Event):
 
     __slots__ = ("events",)
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         if not self.events:
@@ -288,7 +288,7 @@ class AllOf(Event):
 
     __slots__ = ("events", "_remaining")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._remaining = len(self.events)
@@ -320,7 +320,7 @@ class Process(Event):
     __slots__ = ("gen", "name", "_wait_token", "_alive", "_waiting_on",
                  "_bound_resume")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
@@ -426,7 +426,7 @@ class Resource:
 
     __slots__ = ("sim", "capacity", "in_use", "_waiters", "_granted")
 
-    def __init__(self, sim: "Simulator", capacity: int):
+    def __init__(self, sim: "Simulator", capacity: int) -> None:
         if capacity < 1:
             raise SimulationError("Resource capacity must be >= 1")
         self.sim = sim
@@ -505,7 +505,7 @@ class Simulator:
         Initial simulated time, in seconds.
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._heap: list[tuple[float, int, Callable, tuple]] = []
         self._queue: deque[tuple[int, Callable, tuple]] = deque()

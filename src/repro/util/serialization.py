@@ -115,7 +115,7 @@ def _decode_key(hint: Any, key: str) -> Any:
     if hint is float:
         return float(key)
     raise ValueError(f"unsupported dict key type {hint!r} (JSON keys are "
-                     f"strings; only str/int/float keys round-trip)")
+                     "strings; only str/int/float keys round-trip)")
 
 
 def _decode_value(hint: Any, value: Any) -> Any:

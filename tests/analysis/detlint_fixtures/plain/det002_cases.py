@@ -1,0 +1,28 @@
+"""DET002 fixture: wall-clock positives and negatives."""
+
+import time
+from datetime import date, datetime
+from time import monotonic
+
+
+def stamp_everything():
+    a = time.time()  # EXPECT(DET002)
+    b = time.monotonic()  # EXPECT(DET002)
+    c = monotonic()  # EXPECT(DET002)
+    d = time.perf_counter()  # EXPECT(DET002)
+    e = datetime.now()  # EXPECT(DET002)
+    f = datetime.utcnow()  # EXPECT(DET002)
+    g = date.today()  # EXPECT(DET002)
+    return a, b, c, d, e, f, g
+
+
+def negatives(sim):
+    now = sim.now  # negative: simulated clock
+    time.sleep(0)  # negative: not in the banned call list
+    parsed = datetime.fromisoformat("2017-01-01")  # negative: no clock read
+    return now, parsed
+
+
+def justified():
+    # negative: justified, suppressed host-side use
+    return time.monotonic()  # detlint: disable=DET002 — host readiness poll

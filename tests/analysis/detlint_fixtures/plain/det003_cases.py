@@ -1,0 +1,22 @@
+"""DET003 fixture: stray-randomness positives and negatives."""
+
+import random
+from random import choice
+
+import numpy as np
+
+
+def stray_randomness():
+    a = random.random()  # EXPECT(DET003)
+    b = random.randint(0, 9)  # EXPECT(DET003)
+    c = choice([1, 2, 3])  # EXPECT(DET003)
+    d = np.random.default_rng()  # EXPECT(DET003)
+    e = np.random.rand(3)  # EXPECT(DET003)
+    return a, b, c, d, e
+
+
+def negatives(rngs):
+    stream = rngs.stream("faults")  # negative: the named-stream factory
+    draw = stream.integers(0, 10)  # negative: a Generator drawn from it
+    seq = np.random.SeedSequence(entropy=7)  # negative: deterministic
+    return stream, draw, seq

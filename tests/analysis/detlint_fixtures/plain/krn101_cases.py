@@ -1,0 +1,35 @@
+"""KRN101 fixture: kernel yield-protocol positives and negatives."""
+
+
+def broken_process(sim):
+    yield sim.timeout(1.0)
+    yield  # EXPECT(KRN101)
+    yield 5  # EXPECT(KRN101)
+    yield "done"  # EXPECT(KRN101)
+    yield [sim.timeout(1.0)]  # EXPECT(KRN101) — a list is not an Event
+    yield sim.event()  # negative: kernel factory
+
+
+def clean_process(sim, server):
+    yield sim.timeout(0)  # negative: the sanctioned cede-the-turn idiom
+    req = server.executors.request()
+    yield req  # negative: a name can hold an Event; not judged
+    done = yield sim.all_of([sim.timeout(1), sim.timeout(2)])
+    return done
+
+
+def data_generator(records):
+    # negative: never yields a kernel factory call, so literal yields are
+    # fine — this is an ordinary iterator, not a sim process.
+    yield 1
+    yield
+    for rec in records:
+        yield rec
+
+
+def nested_scopes(sim):
+    def inner():
+        yield 1  # negative: the nested generator is its own (data) scope
+
+    yield sim.timeout(1.0)
+    yield inner()  # negative: a call may return an Event-like process

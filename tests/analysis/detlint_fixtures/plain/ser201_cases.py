@@ -1,0 +1,31 @@
+"""SER201 fixture: mutable-dataclass-default positives and negatives."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BadDefaults:
+    names: list = []  # EXPECT(SER201)
+    table: dict = {}  # EXPECT(SER201)
+    tags: set = set()  # EXPECT(SER201)
+    picked: list = field(default=[])  # EXPECT(SER201)
+
+
+@dataclass(frozen=True)
+class FrozenBad:
+    # frozen= does not help: the default object is still shared
+    rows: list = list()  # EXPECT(SER201)
+
+
+@dataclass
+class GoodDefaults:
+    names: list = field(default_factory=list)  # negative
+    table: dict = field(default_factory=dict)  # negative
+    count: int = 0  # negative: immutable
+    label: str = "x"  # negative
+    pair: tuple = ()  # negative: immutable
+
+
+class NotADataclass:
+    # negative: class attributes of plain classes are out of scope
+    shared: list = []

@@ -1,0 +1,63 @@
+"""DET001 fixture: unordered-iteration positives and negatives.
+
+Lines that must be flagged carry an ``EXPECT(DET001)`` marker; the test
+compares the marker set against the engine's findings line-for-line.
+"""
+
+
+def iterate_locals(jobs):
+    pending = {j for j in jobs}
+    for uid in pending:  # EXPECT(DET001)
+        print(uid)
+    for uid in sorted(pending):  # negative: sorted pins the order
+        print(uid)
+    listed = list(pending)  # EXPECT(DET001)
+    ordered = sorted(pending)  # negative: sorted() consumes it safely
+    still_set = {u for u in pending}  # negative: set -> set is order-free
+    if "a" in pending:  # negative: membership, not iteration
+        listed.append("a")
+    return listed, ordered, still_set
+
+
+def iterate_set_call(names):
+    unique = set(names)
+    out = [n for n in unique]  # EXPECT(DET001)
+    deduped = sorted(set(names))  # negative
+    return out, deduped
+
+
+def iterate_keys_and_ops(mapping, other):
+    merged = set(mapping) | set(other)
+    for key in mapping.keys():  # EXPECT(DET001)
+        print(key)
+    for key in merged:  # EXPECT(DET001)
+        print(key)
+    for key in sorted(merged | {"x"}):  # negative
+        print(key)
+
+
+def iterate_param(chosen: set):
+    return [c for c in chosen]  # EXPECT(DET001)
+
+
+def make_pool() -> set:
+    return {"a", "b"}
+
+
+def iterate_call_result():
+    for item in make_pool():  # EXPECT(DET001)
+        print(item)
+
+
+class Tracker:
+    def __init__(self):
+        self._dirty: set[str] = set()
+        self._order: list[str] = []
+
+    def flush(self):
+        for uid in self._dirty:  # EXPECT(DET001)
+            print(uid)
+        for uid in sorted(self._dirty):  # negative
+            print(uid)
+        for uid in self._order:  # negative: a list is ordered
+            print(uid)

@@ -1,0 +1,40 @@
+"""ERR301 fixture: broad-except positives and negatives (service scope)."""
+
+
+def pump(conn):
+    try:
+        conn.step()
+    except Exception:  # EXPECT(ERR301)
+        pass
+    try:
+        conn.step()
+    except BaseException:  # EXPECT(ERR301)
+        return None
+    try:
+        conn.step()
+    except:  # EXPECT(ERR301)  # noqa: E722
+        pass
+    try:
+        conn.step()
+    except (OSError, Exception):  # EXPECT(ERR301) — Exception in the tuple
+        pass
+
+
+def negatives(conn, log):
+    try:
+        conn.step()
+    except Exception:  # negative: the handler re-raises
+        log.warn("failed")
+        raise
+    try:
+        conn.step()
+    except Exception as exc:  # negative: re-raised as a narrower error
+        raise RuntimeError("wrapped") from exc
+    try:
+        conn.step()
+    except (OSError, ValueError):  # negative: narrow tuple
+        pass
+    try:
+        conn.step()
+    except OSError:  # negative: narrow
+        pass

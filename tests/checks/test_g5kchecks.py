@@ -5,7 +5,6 @@ import pytest
 
 from repro.checks import expected_facts, run_g5k_checks
 from repro.faults import (
-    FAULT_SPECS,
     FaultContext,
     FaultKind,
     ServiceHealth,

@@ -62,7 +62,7 @@ def test_reports_match_pre_fast_path_goldens():
         assert got == want, (
             f"{name} @ seed {seed} ({months} months) drifted from the "
             f"golden report: {got} != {want} — simulation behaviour "
-            f"changed, not just speed")
+            "changed, not just speed")
 
 
 def test_repeated_run_is_byte_identical():

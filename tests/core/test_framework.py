@@ -1,7 +1,5 @@
 """Integration tests: the fully-wired framework closes the loop."""
 
-import pytest
-
 from repro.checksuite import family_by_name
 from repro.core import build_framework
 from repro.faults import FaultKind

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro import CampaignStore, run_campaigns, scenarios
-from repro.core.store import StoredCell, cell_hash, cell_key
+from repro.core.store import cell_hash, cell_key
 from repro.oar import WorkloadConfig
 from repro.util import canonical_json
 

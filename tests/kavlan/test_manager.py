@@ -4,7 +4,7 @@ import pytest
 
 from repro.faults import ServiceHealth
 from repro.kavlan import RECONFIG_S_PER_SWITCH, KavlanManager, VlanType
-from repro.testbed import SITE_NAMES, build_grid5000, build_topology
+from repro.testbed import SITE_NAMES
 from repro.util import Simulator, VlanError
 
 

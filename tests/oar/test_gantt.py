@@ -210,8 +210,6 @@ def test_next_fit_skips_covering_and_dense_reservations():
 
 
 def test_next_fit_agrees_with_free_intervals():
-    import math
-
     tl = NodeTimeline()
     for start, end, jid in ((3.0, 7.0, 1), (9.0, 14.0, 2), (20.0, 21.0, 3)):
         tl.add(Reservation(start, end, jid))

@@ -1,10 +1,8 @@
 """Tests for the synthetic user workload generator."""
 
-import pytest
-
 from repro.faults import ServiceHealth
 from repro.nodes import MachinePark
-from repro.oar import JobState, OarDatabase, OarServer, WorkloadConfig, WorkloadGenerator
+from repro.oar import OarDatabase, OarServer, WorkloadConfig, WorkloadGenerator
 from repro.testbed import CLUSTER_SPECS, ReferenceApi, build_grid5000
 from repro.util import DAY, HOUR, RngStreams, Simulator
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.checksuite import family_by_name
-from repro.ci import BuildStatus
 from repro.core import build_framework
 from repro.oar import WorkloadConfig
 from repro.scheduling import PerNodeVariant, SchedulerPolicy

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Gate mypy output against the committed baseline.
+
+CI installs mypy and runs ``python tools/mypy_gate.py``; the gate fails
+when mypy reports an error that is not in ``tools/mypy-baseline.txt`` and
+warns (without failing) when a baselined error has disappeared, so the
+baseline can only shrink through a reviewed commit.
+
+Errors are normalized to ``<path> [<code>] <message>`` — no line or
+column numbers — so the baseline survives unrelated edits that shift
+lines but goes stale when the underlying complaint changes.
+
+When mypy is not installed (the offline dev container does not ship it),
+the gate prints a notice and exits 0: the check is CI-enforced, not a
+local prerequisite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "tools" / "mypy-baseline.txt"
+
+# mypy output: "src/repro/util/events.py:123: error: message  [code]"
+_ERROR_RE = re.compile(
+    r"^(?P<path>[^:]+):\d+(?::\d+)?: error: (?P<message>.*?)"
+    r"(?:\s+\[(?P<code>[a-z0-9-]+)\])?$")
+
+
+def normalize(line: str) -> str | None:
+    m = _ERROR_RE.match(line.strip())
+    if not m:
+        return None
+    code = m.group("code") or "misc"
+    return f"{m.group('path')} [{code}] {m.group('message')}"
+
+
+def load_baseline() -> list[str]:
+    if not BASELINE.exists():
+        return []
+    return [ln.strip() for ln in BASELINE.read_text().splitlines()
+            if ln.strip() and not ln.lstrip().startswith("#")]
+
+
+def run_mypy() -> tuple[list[str], str]:
+    """Run mypy over the package; return (normalized errors, raw output)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file",
+         str(REPO_ROOT / "setup.cfg"), "-p", "repro"],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    raw = proc.stdout + proc.stderr
+    errors = []
+    for line in proc.stdout.splitlines():
+        norm = normalize(line)
+        if norm is not None:
+            errors.append(norm)
+    return sorted(errors), raw
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mypy_gate",
+        description="diff mypy output against tools/mypy-baseline.txt")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current output")
+    args = parser.parse_args(argv)
+
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        if shutil.which("mypy") is None:
+            print("mypy_gate: mypy not installed; skipping (CI enforces "
+                  "this gate)")
+            return 0
+
+    errors, raw = run_mypy()
+    baseline = load_baseline()
+
+    if args.update_baseline:
+        header = [ln for ln in BASELINE.read_text().splitlines()
+                  if ln.lstrip().startswith("#")] if BASELINE.exists() else []
+        BASELINE.write_text("\n".join(header + errors) + "\n")
+        print(f"mypy_gate: baseline rewritten with {len(errors)} entries")
+        return 0
+
+    # Multiset diff: each baseline entry forgives one occurrence.
+    budget: dict[str, int] = {}
+    for entry in baseline:
+        budget[entry] = budget.get(entry, 0) + 1
+    new = []
+    for err in errors:
+        if budget.get(err, 0) > 0:
+            budget[err] -= 1
+        else:
+            new.append(err)
+    stale = [entry for entry, left in budget.items() if left > 0]
+
+    if stale:
+        print(f"mypy_gate: {len(stale)} baseline entr"
+              f"{'y is' if len(stale) == 1 else 'ies are'} stale "
+              "(fixed since baselining) — prune with --update-baseline:")
+        for entry in stale:
+            print(f"  - {entry}")
+    if new:
+        print(f"mypy_gate: {len(new)} new error(s) not in the baseline:")
+        for err in new:
+            print(f"  + {err}")
+        print("\nraw mypy output:\n" + raw)
+        return 1
+    print(f"mypy_gate: clean ({len(errors)} error(s), all baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
