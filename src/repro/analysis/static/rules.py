@@ -469,6 +469,74 @@ class MutableDataclassDefault(Rule):
 
 
 # --------------------------------------------------------------------------
+# PRF401 — per-node park scans on the scheduler tick path
+# --------------------------------------------------------------------------
+
+#: Functions that run on every scheduler/elastic tick (or inside every
+#: placement).  The PR-9 profile refactor moved their availability
+#: questions onto Gantt's ResourceProfile; the ``_linear_*`` oracles are
+#: deliberately NOT listed — they exist to keep the old scans testable.
+_TICK_PATH_FUNCS = {
+    "_schedule_pass", "_replan_future_jobs", "_find_assignment",
+    "_assert_plans_tight", "on_tick", "elastic_tick", "_expand",
+    "_reclaim", "_negotiate", "grow_candidates", "_free_alive",
+    "resources_available", "availability", "earliest_start",
+}
+#: Attributes holding the whole park (node lists, timeline maps).
+_PARK_ATTRS = {"nodes", "machines", "_timelines", "timelines"}
+#: Methods returning the whole park.
+_PARK_CALLS = {"node_uids", "alive_nodes", "iter_nodes"}
+_PARK_WRAPPERS = {"sorted", "list", "tuple", "reversed", "enumerate"}
+
+
+def _is_park_iterable(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr in _PARK_ATTRS
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _PARK_CALLS:
+                return True
+            if func.attr in ("keys", "values", "items"):
+                return _is_park_iterable(func.value)
+        if isinstance(func, ast.Name) and func.id in _PARK_WRAPPERS \
+                and node.args:
+            return _is_park_iterable(node.args[0])
+    return False
+
+
+@register
+class TickPathParkScan(Rule):
+    id = "PRF401"
+    title = "per-node park scan on the scheduler tick path"
+    rationale = ("Tick-path code answers availability questions through "
+                 "the maintained ResourceProfile (one O(log n) query); a "
+                 "loop over the park's node/timeline collections here "
+                 "reintroduces the O(nodes)-per-tick rescans the profile "
+                 "refactor removed.")
+    scope = ("scheduling/", "oar/")
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> Iterator[Finding]:
+        for fn in _function_bodies(tree):
+            if fn.name not in _TICK_PATH_FUNCS:
+                continue
+            for node in _walk_same_function(fn):
+                sites: List[ast.AST] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    sites.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    sites.extend(gen.iter for gen in node.generators)
+                for site in sites:
+                    if _is_park_iterable(site):
+                        yield ctx.finding(
+                            self, site,
+                            f"O(park) iteration inside {fn.name}() — ask "
+                            "the availability profile (Gantt.profile_* / "
+                            "free_uids) instead of rescanning the park")
+
+
+# --------------------------------------------------------------------------
 # ERR301 — exception swallowing in session/kernel plumbing
 # --------------------------------------------------------------------------
 

@@ -1,6 +1,8 @@
 """Monitoring: metric ring buffers, Ganglia system probes, kwapi power."""
 
-from .metrics import MetricStore, RingBuffer, SeriesStats
+from .metrics import ColumnRing, MetricStore, RingBuffer, RingColumnBlock, \
+    SeriesStats
 from .probes import Ganglia, Kwapi
 
-__all__ = ["MetricStore", "RingBuffer", "SeriesStats", "Ganglia", "Kwapi"]
+__all__ = ["MetricStore", "RingBuffer", "RingColumnBlock", "ColumnRing",
+           "SeriesStats", "Ganglia", "Kwapi"]

@@ -5,17 +5,27 @@ frequency (≈1 Hz)" with live visualization, a REST API and long-term
 storage.  :class:`MetricStore` keeps one fixed-capacity numpy ring buffer
 per series — O(1) appends, vectorized window queries, bounded memory even
 on month-long campaigns.
+
+Park-wide sweeps additionally get :class:`RingColumnBlock`: many
+same-capacity rings packed as columns of two shared 2-D arrays, so one
+sweep appends a sample to every column with a single fancy-index scatter
+per array instead of one Python-level ``append`` per node.  Each column is
+still addressable as an ordinary series through :class:`ColumnRing`, a
+read/append facade with the exact :class:`RingBuffer` interface, adopted
+into a store via :meth:`MetricStore.bind_series`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
 from ..util.errors import MonitoringError
 
-__all__ = ["SeriesStats", "RingBuffer", "MetricStore"]
+__all__ = ["SeriesStats", "RingBuffer", "RingColumnBlock", "ColumnRing",
+           "MetricStore"]
 
 
 @dataclass(frozen=True)
@@ -69,14 +79,123 @@ class RingBuffer:
         return t[mask], v[mask]
 
 
+class RingColumnBlock:
+    """Many same-capacity rings sharing two 2-D arrays.
+
+    Column *i* is one (timestamp, value) ring with its own head and size;
+    the storage layout is ``(columns, capacity)`` so a park-wide sweep
+    writes one sample into many columns with a single fancy-index scatter
+    per array (:meth:`append_rows`) — the vectorized counterpart of
+    calling :meth:`RingBuffer.append` once per node.
+    """
+
+    __slots__ = ("_t", "_v", "_capacity", "_heads", "_sizes")
+
+    def __init__(self, columns: int, capacity: int):
+        if capacity < 1:
+            raise MonitoringError("ring capacity must be >= 1")
+        if columns < 1:
+            raise MonitoringError("column block needs >= 1 column")
+        self._capacity = capacity
+        self._t = np.empty((columns, capacity), dtype=np.float64)
+        self._v = np.empty((columns, capacity), dtype=np.float64)
+        self._heads = np.zeros(columns, dtype=np.intp)
+        self._sizes = np.zeros(columns, dtype=np.intp)
+
+    @property
+    def columns(self) -> int:
+        return self._t.shape[0]
+
+    def ring(self, column: int) -> "ColumnRing":
+        """A RingBuffer-compatible view of one column."""
+        return ColumnRing(self, column)
+
+    def append_rows(self, cols: np.ndarray, t: float,
+                    values: np.ndarray) -> None:
+        """Append ``(t, values[i])`` to column ``cols[i]`` for all *i*.
+
+        ``cols`` must not repeat a column: a fancy-index scatter writes
+        duplicates only once, where sequential appends would keep both.
+        """
+        heads = self._heads[cols]
+        self._t[cols, heads] = t
+        self._v[cols, heads] = values
+        self._heads[cols] = (heads + 1) % self._capacity
+        sizes = self._sizes[cols] + 1
+        np.minimum(sizes, self._capacity, out=sizes)
+        self._sizes[cols] = sizes
+
+    def _append_one(self, col: int, t: float, value: float) -> None:
+        head = self._heads[col]
+        self._t[col, head] = t
+        self._v[col, head] = value
+        self._heads[col] = (head + 1) % self._capacity
+        if self._sizes[col] < self._capacity:
+            self._sizes[col] += 1
+
+
+class ColumnRing:
+    """One :class:`RingColumnBlock` column behind the RingBuffer interface.
+
+    Probes hand these to the store (:meth:`MetricStore.bind_series`) so
+    window/last/stats queries and scalar appends keep working unchanged
+    while the park sweep feeds the same storage through one scatter.
+    """
+
+    __slots__ = ("_block", "_col")
+
+    def __init__(self, block: RingColumnBlock, col: int):
+        self._block = block
+        self._col = col
+
+    def __len__(self) -> int:
+        return int(self._block._sizes[self._col])
+
+    def append(self, t: float, value: float) -> None:
+        self._block._append_one(self._col, t, value)
+
+    def _ordered(self) -> tuple[np.ndarray, np.ndarray]:
+        block, col = self._block, self._col
+        size = int(block._sizes[col])
+        head = int(block._heads[col])
+        t, v = block._t[col], block._v[col]
+        if size < block._capacity:
+            return t[:size], v[:size]
+        idx = np.concatenate([np.arange(head, block._capacity),
+                              np.arange(0, head)])
+        return t[idx], v[idx]
+
+    def last(self) -> tuple[float, float]:
+        if len(self) == 0:
+            raise MonitoringError("empty series")
+        block, col = self._block, self._col
+        idx = (int(block._heads[col]) - 1) % block._capacity
+        return float(block._t[col, idx]), float(block._v[col, idx])
+
+    def window(self, t_from: float, t_to: float) -> tuple[np.ndarray, np.ndarray]:
+        """All samples with ``t_from <= t < t_to`` (chronological)."""
+        t, v = self._ordered()
+        mask = (t >= t_from) & (t < t_to)
+        return t[mask], v[mask]
+
+
+#: Anything the store can serve as a series.
+Series = Union[RingBuffer, ColumnRing]
+
+
 class MetricStore:
     """Named series, each a ring buffer."""
 
     def __init__(self, capacity_per_series: int = 4096):
         self._capacity = capacity_per_series
-        self._series: dict[str, RingBuffer] = {}
+        self._series: dict[str, Series] = {}
 
-    def series(self, name: str) -> RingBuffer:
+    @property
+    def capacity(self) -> int:
+        """Ring capacity shared by every series in the store."""
+        return self._capacity
+
+    def series(self, name: str) -> Series:
         """The named ring, created empty on first use.
 
         Hot-path accessor: probes hold the returned reference and append
@@ -88,6 +207,18 @@ class MetricStore:
             self._series[name] = ring
         return ring
 
+    def bind_series(self, name: str, ring: Series) -> bool:
+        """Adopt an externally backed ring (a block column) as a series.
+
+        Returns False — and binds nothing — when the name is already
+        taken, in which case the caller must keep using the existing ring
+        (the probes fall back to their scalar path).
+        """
+        if name in self._series:
+            return False
+        self._series[name] = ring
+        return True
+
     def record(self, series: str, t: float, value: float) -> None:
         self.series(series).append(t, value)
 
@@ -97,7 +228,7 @@ class MetricStore:
     def has_series(self, series: str) -> bool:
         return series in self._series
 
-    def _ring(self, series: str) -> RingBuffer:
+    def _ring(self, series: str) -> Series:
         try:
             return self._series[series]
         except KeyError:

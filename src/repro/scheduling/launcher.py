@@ -139,6 +139,15 @@ class ExternalScheduler:
         for site in testbed.sites:
             self._site_nodes[site.uid] = [n.uid for c in site.clusters
                                           for n in c.nodes]
+        # Bitmasks of the same node sets (bit order == OAR database order):
+        # the short-horizon availability probes become one profile query
+        # plus a bit test per node, instead of a timeline bisect per node
+        # per tick.
+        gantt = oar.gantt
+        self._cluster_masks = {uid: gantt.mask_for(nodes)
+                               for uid, nodes in self._cluster_nodes.items()}
+        self._site_masks = {uid: gantt.mask_for(nodes)
+                            for uid, nodes in self._site_nodes.items()}
         for family in families:
             for config in family.configurations(testbed):
                 cluster = config.get("cluster")
@@ -157,14 +166,34 @@ class ExternalScheduler:
 
     # -- testbed status queries ----------------------------------------------
 
-    def _free_alive(self, uids: list[str]) -> int:
-        """Nodes alive and not reserved right now (short horizon probe)."""
+    def _target(self, cell: TestCell) -> tuple[list[str], int]:
+        """A cell's target node set with its precomputed bitmask."""
+        if cell.cluster is not None:
+            return (self._cluster_nodes[cell.cluster],
+                    self._cluster_masks[cell.cluster])
+        return self._site_nodes[cell.site], self._site_masks[cell.site]
+
+    def _free_alive(self, uids: list[str], mask: Optional[int] = None) -> int:
+        """Nodes alive and not reserved right now (short horizon probe).
+
+        With a precomputed ``mask``, one availability-profile query covers
+        the whole set and each node costs a bit test; the per-node
+        timeline-bisect loop remains the ``use_profile = False`` baseline
+        (identical counts — covered by the launcher equivalence tests).
+        """
         now = self.sim.now
+        oar = self.oar
+        if mask is not None and oar.gantt.use_profile:
+            fmask = oar.gantt.profile_free_mask(mask, now, now + 60.0)
+            bit = oar.gantt.bit
+            return sum(1 for uid in uids
+                       if fmask >> bit(uid) & 1
+                       and oar.node_state(uid) == "Alive")
         count = 0
         for uid in uids:
-            if self.oar.node_state(uid) != "Alive":
+            if oar.node_state(uid) != "Alive":
                 continue
-            if self.oar.gantt.is_free(uid, now, now + 60.0):
+            if oar.gantt.is_free(uid, now, now + 60.0):
                 count += 1
         return count
 
@@ -172,23 +201,17 @@ class ExternalScheduler:
         need = cell.family.nodes_needed
         if need == 0:
             return True
-        if cell.cluster is not None:
-            uids = self._cluster_nodes[cell.cluster]
-        else:
-            uids = self._site_nodes[cell.site]
+        uids, mask = self._target(cell)
         if need == "ALL":
             alive = sum(1 for u in uids if self.oar.node_state(u) == "Alive")
-            return alive > 0 and self._free_alive(uids) == alive
-        return self._free_alive(uids) >= int(need)
+            return alive > 0 and self._free_alive(uids, mask) == alive
+        return self._free_alive(uids, mask) >= int(need)
 
     def availability(self, cell: TestCell) -> tuple[int, int]:
         """(alive, free-now) counts over the cell's target node set."""
-        if cell.cluster is not None:
-            uids = self._cluster_nodes[cell.cluster]
-        else:
-            uids = self._site_nodes[cell.site]
+        uids, mask = self._target(cell)
         alive = sum(1 for u in uids if self.oar.node_state(u) == "Alive")
-        return alive, self._free_alive(uids)
+        return alive, self._free_alive(uids, mask)
 
     def cluster_states(self) -> list[tuple[str, str, int, int]]:
         """(cluster, site, alive, free-now) per cluster, in testbed order
@@ -199,7 +222,7 @@ class ExternalScheduler:
             alive = sum(1 for u in uids
                         if self.oar.node_state(u) == "Alive")
             out.append((cluster.uid, cluster.site, alive,
-                        self._free_alive(uids)))
+                        self._free_alive(uids, self._cluster_masks[cluster.uid])))
         return out
 
     # -- main loop ------------------------------------------------------------

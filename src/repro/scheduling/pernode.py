@@ -10,6 +10,12 @@ suffices, so runs happen far more often — at the cost of never observing
 whole-cluster behaviour (chain broadcast at scale, simultaneous boots) and
 needing many runs to cover a cluster.  The A1 ablation bench quantifies
 this trade-off.
+
+Availability is probed through the wrapping
+:class:`~repro.scheduling.launcher.ExternalScheduler`, whose free-node
+counts ride the Gantt availability profile (one indexed query per target
+set) rather than per-node timeline scans — per-node cells stay cheap even
+on a 10k-node park.
 """
 
 from __future__ import annotations

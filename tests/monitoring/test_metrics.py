@@ -158,3 +158,69 @@ def test_store_series_handle_is_live():
     assert store.series("node.cpu") is ring
     assert len(ring) == 2
     assert store.last("node.cpu") == (2.0, 0.7)
+
+
+# -- column blocks -------------------------------------------------------------
+#
+# The park sweeps pack per-node rings into one RingColumnBlock and append
+# with a single scatter; every column must behave exactly like a
+# stand-alone RingBuffer, including across the wrap seams.
+
+
+def test_column_ring_matches_ring_buffer_through_wraps():
+    from repro.monitoring import RingColumnBlock
+
+    block = RingColumnBlock(columns=3, capacity=5)
+    rings = [block.ring(c) for c in range(3)]
+    oracles = [RingBuffer(5) for _ in range(3)]
+    for i in range(23):  # multiple full wraps
+        cols = np.arange(3)
+        values = np.array([float(i), float(i * 10), float(-i)])
+        block.append_rows(cols, float(i), values)
+        for oracle, v in zip(oracles, values):
+            oracle.append(float(i), float(v))
+    for ring, oracle in zip(rings, oracles):
+        assert len(ring) == len(oracle)
+        assert ring.last() == oracle.last()
+        t, v = ring.window(0.0, 1000.0)
+        ot, ov = oracle.window(0.0, 1000.0)
+        assert list(t) == list(ot) and list(v) == list(ov)
+        t2, _ = ring.window(19.0, 22.0)  # straddles the physical wrap
+        ot2, _ = oracle.window(19.0, 22.0)
+        assert list(t2) == list(ot2)
+
+
+def test_column_ring_scalar_and_scatter_appends_interleave():
+    from repro.monitoring import RingColumnBlock
+
+    block = RingColumnBlock(columns=2, capacity=4)
+    ring = block.ring(0)
+    ring.append(0.0, 1.0)                             # scalar
+    block.append_rows(np.array([0, 1]), 1.0, np.array([2.0, 9.0]))  # scatter
+    ring.append(2.0, 3.0)                             # scalar again
+    t, v = ring.window(0.0, 10.0)
+    assert list(t) == [0.0, 1.0, 2.0]
+    assert list(v) == [1.0, 2.0, 3.0]
+    assert len(block.ring(1)) == 1
+
+
+def test_column_ring_empty_last_raises():
+    from repro.monitoring import RingColumnBlock
+
+    with pytest.raises(MonitoringError):
+        RingColumnBlock(columns=1, capacity=4).ring(0).last()
+
+
+def test_store_bind_series_adopts_and_guards():
+    from repro.monitoring import RingColumnBlock
+
+    store = MetricStore(capacity_per_series=4)
+    block = RingColumnBlock(columns=1, capacity=store.capacity)
+    assert store.bind_series("n1.power_w", block.ring(0))
+    store.record("n1.power_w", 1.0, 50.0)            # lands in the column
+    assert store.last("n1.power_w") == (1.0, 50.0)
+    assert len(block.ring(0)) == 1
+    # A taken name refuses the bind — the caller must fall back.
+    assert not store.bind_series("n1.power_w", block.ring(0))
+    store.series("plain")
+    assert not store.bind_series("plain", block.ring(0))

@@ -170,3 +170,70 @@ def test_kwapi_sample_park_skips_down_sites(world):
     assert count == len(park.machines) - len(down_nodes)
     for uid in down_nodes:
         assert not kwapi.store.has_series(f"{uid}.power_w")
+
+
+# -- vectorized vs scalar sweeps -----------------------------------------------
+#
+# The default probes pack per-node series into a RingColumnBlock and land
+# each park sweep with one numpy scatter per metric; vectorized=False pins
+# the original one-append-per-node loop as the oracle.  Both paths must
+# record byte-identical samples.
+
+
+def test_ganglia_vectorized_sweep_equals_scalar_sweep(world):
+    sim, _, park, _ = world
+    vector = Ganglia(sim, park)                    # default: column block
+    scalar = Ganglia(sim, park, vectorized=False)  # oracle loop
+    assert vector._block is not None and scalar._block is None
+    uids = sorted(park.machines)
+    park[uids[0]].cpu_load = 0.7
+    park[uids[2]].crash()
+    for _ in range(3):  # several sweeps so rings accumulate history
+        assert vector.sample_park(uids) == scalar.sample_park(uids)
+    for uid in uids:
+        for metric in ("cpu_load", "mem_total_gb", "up"):
+            key = f"{uid}.{metric}"
+            t, v = vector.store.window(key, 0.0, 1e9)
+            ot, ov = scalar.store.window(key, 0.0, 1e9)
+            assert list(t) == list(ot) and list(v) == list(ov)
+            assert vector.store.last(key) == scalar.store.last(key)
+
+
+def test_kwapi_vectorized_sweep_equals_scalar_sweep(world):
+    sim, services, park, testbed = world
+    vector = Kwapi(sim, park, testbed, services)
+    scalar = Kwapi(sim, park, testbed, services, vectorized=False)
+    assert vector._block is not None and scalar._block is None
+    services.kwapi_down.add(testbed.sites[0].uid)  # sweep must skip a site
+    uids = sorted(park.machines)
+    park[uids[0]].cpu_load = 0.6
+    assert vector.sample_park(uids) == scalar.sample_park(uids)
+    for uid in uids:
+        key = f"{uid}.power_w"
+        assert vector.store.has_series(key) == scalar.store.has_series(key)
+        if vector.store.has_series(key):
+            assert vector.store.last(key) == scalar.store.last(key)
+
+
+def test_ganglia_on_demand_sample_lands_in_column_block(world):
+    # sample_node goes through the same bound column the sweep scatters
+    # into: mixed scalar/vector appends stay one chronological series.
+    sim, _, park, _ = world
+    ganglia = Ganglia(sim, park)
+    ganglia.sample_node("grisou-1")
+    ganglia.sample_park(sorted(park.machines))
+    t, _ = ganglia.store.window("grisou-1.cpu_load", 0.0, 1e9)
+    assert len(t) == 2
+
+
+def test_ganglia_shared_store_conflict_falls_back_to_scalar(world):
+    # A series name already owned by a plain ring cannot be rebound; the
+    # sweep must drop to the scalar path and still record everything.
+    sim, _, park, _ = world
+    store = Ganglia(sim, park).store  # placeholder store
+    store.record("grisou-1.cpu_load", -1.0, 0.0)  # foreign plain ring
+    ganglia = Ganglia(sim, park, store=store)
+    uids = sorted(park.machines)
+    assert ganglia.sample_park(uids) == len(uids)
+    assert ganglia.store.last("grisou-1.cpu_load")[0] == 0.0
+    assert ganglia.store.last("grisou-2.cpu_load")[0] == 0.0

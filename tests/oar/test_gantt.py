@@ -263,3 +263,62 @@ def test_gantt_release_with_hint_matches_plain_release():
     g2.release(["a", "b"], 1)
     for uid in ("a", "b"):
         assert list(g1.timeline(uid)) == list(g2.timeline(uid))
+
+
+# -- profile invalidation under stale hints ------------------------------------
+#
+# Regression: Gantt.release once invalidated the availability profile from
+# the caller's ``start`` hint.  A stale hint (the reservation had been
+# truncated, or the job never landed on that node) then freed the wrong
+# window in the profile while the scan fallback removed the real one from
+# the timeline — the two sources of truth disagreed until the next rebuild.
+# The fix invalidates from the intervals ``pop_job`` actually removed.
+
+
+def _profile_agrees_with_timelines(g, probes):
+    """Every profile answer must match the timeline-scan answer."""
+    uids = sorted(g._timelines)
+    mask = g.mask_for(uids)
+    for start, end in probes:
+        want = g.free_nodes(uids, start, end)
+        assert g.free_uids(mask, start, end) == want, (start, end)
+
+
+_PROBES = [(0.0, 5.0), (5.0, 15.0), (10.0, 20.0), (12.0, 28.0),
+           (20.0, 30.0), (30.0, 40.0), (0.0, 100.0)]
+
+
+def test_gantt_release_with_stale_hint_frees_actual_interval():
+    g = Gantt(["a", "b"])
+    g.reserve(["a", "b"], 10.0, 20.0, 1)
+    g.reserve(["a"], 30.0, 40.0, 2)
+    # Hint points nowhere (bookkeeping drift): scan fallback removes the
+    # real [10, 20) entries and the profile must free exactly that window.
+    g.release(["a", "b"], 1, start=12.0)
+    assert g.is_free("a", 10.0, 20.0) and g.is_free("b", 10.0, 20.0)
+    assert not g.is_free("a", 30.0, 40.0)
+    _profile_agrees_with_timelines(g, _PROBES)
+
+
+def test_gantt_truncate_then_hinted_release_keeps_profile_consistent():
+    g = Gantt(["a", "b"])
+    g.reserve(["a", "b"], 10.0, 30.0, 1)
+    # Early release shortens the reservation to [10, 15)...
+    g.truncate(["a", "b"], 1, end=15.0)
+    # ...so the original-start hint now names a different interval than
+    # the caller believes; only [10, 15) may be freed, and it is.
+    g.release(["a", "b"], 1, start=10.0)
+    _profile_agrees_with_timelines(g, _PROBES)
+    g.reserve(["a"], 10.0, 30.0, 3)  # the slot is genuinely reusable
+    _profile_agrees_with_timelines(g, _PROBES)
+
+
+def test_gantt_truncate_at_start_drops_reservation_in_profile():
+    g = Gantt(["a"])
+    g.reserve(["a"], 50.0, 100.0, 7)
+    g.truncate(["a"], 7, end=50.0)  # released at its scheduled start
+    assert g.is_free("a", 0.0, 200.0)
+    assert g.free_uids(g.mask_for(["a"]), 0.0, 200.0) == ["a"]
+    # A hinted release of the already-dropped job must be a no-op.
+    g.release(["a"], 7, start=50.0)
+    _profile_agrees_with_timelines(g, [(0.0, 200.0), (50.0, 100.0)])
