@@ -578,3 +578,41 @@ class BroadExcept(Rule):
             return any(BroadExcept._is_broad(e) for e in type_node.elts)
         name = _dotted_name(type_node)
         return bool(name) and name.split(".")[-1] in _BROAD_EXC
+
+
+# --------------------------------------------------------------------------
+# ERR302 — unbounded sleep/retry loops in resilience plumbing
+# --------------------------------------------------------------------------
+
+
+@register
+class UnboundedRetrySleep(Rule):
+    id = "ERR302"
+    title = "sleep inside an unbounded loop"
+    rationale = ("Retry/poll loops in the service layer and the campaign "
+                 "supervisor must bound every wait — a deadline, an attempt "
+                 "cap, or a work-remaining check.  A time.sleep() inside a "
+                 "while-loop whose condition compares nothing spins forever "
+                 "once the peer (or worker) is gone.")
+    scope = ("service/", "core/batch.py")
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(tree)
+        seen: Set[int] = set()
+        for loop in ast.walk(tree):
+            if not isinstance(loop, ast.While):
+                continue
+            if any(isinstance(n, ast.Compare) for n in ast.walk(loop.test)):
+                continue  # the condition measures progress against a bound
+            # _walk_same_function keeps nested defs out: a closure defined
+            # inside the loop does not sleep on every iteration.
+            for node in _walk_same_function(loop):
+                if (isinstance(node, ast.Call)
+                        and _resolve_call(node, aliases) == "time.sleep"
+                        and id(node) not in seen):
+                    seen.add(id(node))
+                    yield ctx.finding(
+                        self, node,
+                        "time.sleep() in a loop with no bounding comparison "
+                        "— gate the loop on a deadline or attempt cap so a "
+                        "dead peer cannot spin this wait forever")

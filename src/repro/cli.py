@@ -8,6 +8,8 @@ Examples::
     repro-campaign run paper-baseline --store results.jsonl --resume
     repro-campaign report results.jsonl
     repro-campaign compare results.jsonl --baseline paper-baseline
+    repro-campaign fsck results.jsonl --repair
+    repro-campaign run paper-baseline --cell-timeout 900 --cell-attempts 3
     repro-campaign scoreboard elastic-burst --seeds 0,1,2
     repro-campaign run tiny-smoke --strategy common-pool
     repro-campaign trace record tiny-smoke --out trace.jsonl --months 0.2
@@ -52,7 +54,7 @@ from .scheduling.policies import get_strategy, strategy_names
 __all__ = ["main"]
 
 _SUBCOMMANDS = ("run", "report", "compare", "scoreboard", "trace", "serve",
-                "client")
+                "client", "fsck")
 
 
 def _parse_seeds(text: str) -> list[int]:
@@ -108,6 +110,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--strategy", default=None, metavar="NAME",
                        help="override every scenario's scheduling strategy "
                             f"(known: {', '.join(strategy_names())})")
+    run_p.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="supervised mode: kill and quarantine any cell "
+                            "running longer than this (wall clock)")
+    run_p.add_argument("--cell-attempts", type=int, default=1,
+                       metavar="N",
+                       help="supervised mode: retry a crashing cell up to N "
+                            "times with backoff, then quarantine it")
 
     sb_p = sub.add_parser(
         "scoreboard",
@@ -180,6 +190,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="scenario name to measure the others against")
     cmp_p.add_argument("--significant", action="store_true",
                        help="only show metrics resolved at 95%% confidence")
+
+    fsck_p = sub.add_parser(
+        "fsck", help="audit a campaign store's record integrity")
+    fsck_p.add_argument("store", help="path to a campaign store (JSONL)")
+    fsck_p.add_argument("--repair", action="store_true",
+                        help="atomically rewrite the store keeping only "
+                             "verifiable records (checksums legacy lines)")
+    fsck_p.add_argument("--json", action="store_true",
+                        help="emit the audit counters as JSON on stdout")
 
     serve_p = sub.add_parser(
         "serve", help="serve the simulator over the wire protocol")
@@ -281,7 +300,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         runs = run_campaigns(specs, seeds=args.seeds,
                              workers=args.workers, months=args.months,
                              store=store, resume=args.resume,
-                             on_cell=progress)
+                             on_cell=progress,
+                             cell_timeout_s=args.cell_timeout,
+                             max_cell_attempts=args.cell_attempts)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -504,6 +525,27 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from .core.store import fsck_store
+    if not os.path.exists(args.store):
+        print(f"error: cannot fsck store {args.store!r}: no such file",
+              file=sys.stderr)
+        return 2
+    try:
+        report = fsck_store(args.store, repair=args.repair)
+    except OSError as exc:
+        print(f"error: cannot fsck store {args.store!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_doc(), sort_keys=True, indent=2))
+    else:
+        print(f"{args.store}: {report}")
+    if report.clean or report.repaired:
+        return 0
+    return 1  # damage found and left in place (run with --repair)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import SimulatorService
     service = SimulatorService(host=args.host, port=args.port,
@@ -569,6 +611,8 @@ def _main(argv: Optional[Sequence[str]]) -> int:
         return _cmd_scoreboard(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "client":

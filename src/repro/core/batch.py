@@ -27,6 +27,7 @@ import atexit
 import math
 import multiprocessing
 import os
+import queue as queue_mod
 import threading
 import traceback
 from dataclasses import dataclass
@@ -120,7 +121,9 @@ class CampaignRun:
     the worker's traceback.  ``spec_hash`` is the seed-independent content
     hash of the effective scenario (see :func:`repro.core.store.cell_hash`)
     — it is what lets :func:`aggregate_runs` detect two *different* specs
-    masquerading under one name.
+    masquerading under one name.  ``quarantined`` marks a poison cell
+    (hung past its watchdog, or failed every supervised attempt): its
+    failure is final and ``resume`` will not retry it.
     """
 
     scenario: str
@@ -128,6 +131,7 @@ class CampaignRun:
     report: Optional[CampaignReport]
     spec_hash: str = ""
     error: Optional[str] = None
+    quarantined: bool = False
 
     @property
     def ok(self) -> bool:
@@ -189,6 +193,119 @@ def _run_cell(payload: tuple[int, dict, int, Optional[float]]
         return index, None, traceback.format_exc()
 
 
+def _run_cell_child(payload: tuple[int, dict, int, Optional[float]],
+                    queue: "multiprocessing.Queue") -> None:
+    """Supervised-mode child entry point: one process, one cell.
+
+    The result travels back over a queue; a child that never delivers
+    (hang, segfault, ``os._exit``) is detected by the supervisor via the
+    wall-clock watchdog / its exit code — the parent never blocks on it.
+    """
+    queue.put(_run_cell(payload))
+
+
+class _SupervisedCell:
+    """Bookkeeping for one in-flight supervised cell."""
+
+    __slots__ = ("payload", "attempt", "proc", "queue", "deadline")
+
+    def __init__(self, payload, attempt: int, ctx, timeout_s, now):
+        self.payload = payload
+        self.attempt = attempt
+        self.queue = ctx.Queue(maxsize=1)
+        self.proc = ctx.Process(target=_run_cell_child,
+                                args=(payload, self.queue), daemon=True)
+        self.proc.start()
+        self.deadline = (now + timeout_s) if timeout_s is not None else None
+
+
+def _run_supervised(pending, finish, workers: int,
+                    cell_timeout_s: Optional[float],
+                    max_cell_attempts: int,
+                    retry_backoff_s: float) -> None:
+    """Process-per-cell execution with watchdog, retries and quarantine.
+
+    Unlike the pool paths, every attempt gets a *fresh* worker process,
+    so a hung or crashed cell costs exactly one process — terminated and
+    replaced — and never wedges a shared pool.  Real wall-clock time
+    (not sim time) governs the watchdog, deliberately: a hung *process*
+    is a host-level fault, outside the simulation's determinism contract.
+    """
+    import time  # local: keeps the module import graph sim-clock-clean
+
+    ctx = multiprocessing.get_context()
+    #: (payload, attempt, not_before): retries wait out their backoff.
+    waiting: list[tuple[tuple, int, float]] = [
+        (payload, 1, 0.0) for payload in pending]
+    active: dict[int, _SupervisedCell] = {}
+
+    def retire(cell: _SupervisedCell, error: Optional[str],
+               report, timed_out: bool) -> None:
+        """One attempt is over: retry, quarantine, or finish."""
+        index = cell.payload[0]
+        if error is None:
+            finish(index, report, None)
+            return
+        if timed_out:
+            # Deterministic cells hang deterministically: retrying a
+            # watchdog kill would hang again.  Straight to quarantine.
+            finish(index, None, error, quarantined=True)
+            return
+        if cell.attempt < max_cell_attempts:
+            now = time.monotonic()  # detlint: disable=DET002
+            backoff = retry_backoff_s * 2 ** (cell.attempt - 1)
+            waiting.append((cell.payload, cell.attempt + 1, now + backoff))
+            return
+        # Out of attempts.  With retries configured this cell is poison
+        # (it failed repeatedly); without, it is an ordinary recorded
+        # failure, exactly as the unsupervised paths would report it.
+        finish(index, None, error, quarantined=max_cell_attempts > 1)
+
+    def reap(cell: _SupervisedCell, now: float) -> bool:
+        """Check one in-flight attempt; True when it retired."""
+        try:
+            result = cell.queue.get_nowait()
+        except queue_mod.Empty:
+            if cell.proc.is_alive():
+                if cell.deadline is not None and now >= cell.deadline:
+                    cell.proc.terminate()
+                    cell.proc.join(timeout=5.0)
+                    retire(cell, f"cell timed out after {cell_timeout_s}s "
+                           "wall clock; worker terminated and replaced",
+                           None, timed_out=True)
+                    return True
+                return False
+            # Dead without a result: give the queue feeder one final,
+            # bounded chance, then call it a crash.
+            try:
+                result = cell.queue.get(timeout=0.2)
+            except queue_mod.Empty:
+                retire(cell, "worker died without a result "
+                       f"(exit code {cell.proc.exitcode})", None,
+                       timed_out=False)
+                return True
+        cell.proc.join(timeout=5.0)
+        _, report, error = result
+        retire(cell, error, report, timed_out=False)
+        return True
+
+    while len(waiting) + len(active) > 0:
+        now = time.monotonic()  # detlint: disable=DET002
+        # Launch every retry whose backoff has elapsed, capacity allowing.
+        still_waiting = []
+        for payload, attempt, not_before in waiting:
+            if len(active) < workers and now >= not_before:
+                active[payload[0]] = _SupervisedCell(
+                    payload, attempt, ctx, cell_timeout_s, now)
+            else:
+                still_waiting.append((payload, attempt, not_before))
+        waiting[:] = still_waiting
+        for index in list(active):
+            if reap(active[index], time.monotonic()):  # detlint: disable=DET002
+                del active[index]
+        time.sleep(0.02)
+
+
 #: Progress callback: ``on_cell(run, cached)`` fires once per finished
 #: cell, in completion order; ``cached`` is True for store hits.
 ProgressCallback = Callable[[CampaignRun, bool], None]
@@ -204,6 +321,9 @@ def run_campaigns(
     on_cell: Optional[ProgressCallback] = None,
     warm_pool: bool = True,
     chunksize: Optional[int] = None,
+    cell_timeout_s: Optional[float] = None,
+    max_cell_attempts: int = 1,
+    retry_backoff_s: float = 0.25,
 ) -> list[CampaignRun]:
     """Run every scenario × seed combination; returns one run per cell.
 
@@ -231,6 +351,16 @@ def run_campaigns(
     1 for small matrices scaling up to 8) — larger chunks cut dispatch
     overhead on big sweeps at the cost of coarser work stealing.
 
+    ``cell_timeout_s`` / ``max_cell_attempts`` switch on *supervised*
+    execution (process-per-cell instead of the pool): a cell past its
+    wall-clock timeout is killed, recorded as a quarantined timeout
+    failure, and its worker replaced; a crashing cell is retried up to
+    ``max_cell_attempts`` times with exponential backoff
+    (``retry_backoff_s · 2^(attempt-1)``) and quarantined once the
+    attempts are spent.  Quarantined cells are final: ``resume=True``
+    returns them from the store instead of looping on a poison cell.
+    Leave both at their defaults for the original pool behaviour.
+
     Results are deterministic per cell and come back in matrix order
     (scenario-major, seed-minor) regardless of worker count, pool warmth
     or chunking.
@@ -255,34 +385,44 @@ def run_campaigns(
             cached = store.get(key)
         else:
             cached = None
-        if cached is not None and cached.ok:
+        if cached is not None and (cached.ok or cached.quarantined):
+            # Successes resume from the archive; so do quarantined
+            # failures — a poison cell must not be retried forever.
             runs[index] = CampaignRun(
                 scenario=spec.name, seed=seed, report=cached.report,
-                spec_hash=cached.spec_hash, error=None)
+                spec_hash=cached.spec_hash, error=cached.error,
+                quarantined=cached.quarantined)
             if on_cell is not None:
                 on_cell(runs[index], True)
         else:
             pending.append((index, docs[id(spec)], seed, months))
 
     def finish(index: int, report: Optional[CampaignReport],
-               error: Optional[str]) -> None:
+               error: Optional[str], quarantined: bool = False) -> None:
         spec, seed = matrix[index]
         runs[index] = CampaignRun(scenario=spec.name, seed=seed,
                                   report=report, spec_hash=hashes[id(spec)],
-                                  error=error)
+                                  error=error, quarantined=quarantined)
         if store is not None:
             if error is None:
                 store.record_success(spec, seed, report, months=months,
                                      spec_hash=hashes[id(spec)])
             else:
                 store.record_failure(spec, seed, error, months=months,
-                                     spec_hash=hashes[id(spec)])
+                                     spec_hash=hashes[id(spec)],
+                                     quarantined=quarantined)
         if on_cell is not None:
             on_cell(runs[index], False)
 
     if workers is None:
         workers = min(len(matrix), os.cpu_count() or 1)
-    if workers <= 1 or len(pending) <= 1:
+    supervised = cell_timeout_s is not None or max_cell_attempts > 1
+    if supervised:
+        _run_supervised(pending, finish, workers=max(1, workers),
+                        cell_timeout_s=cell_timeout_s,
+                        max_cell_attempts=max_cell_attempts,
+                        retry_backoff_s=retry_backoff_s)
+    elif workers <= 1 or len(pending) <= 1:
         for payload in pending:
             finish(*_run_cell(payload))
     else:

@@ -20,21 +20,37 @@ Records carry the full spec document next to the report, so ``repro-campaign
 report``/``compare`` can audit exactly what ran without the original preset
 code.  Appends are flushed + fsynced; a torn line from a killed process is
 sealed by the next append and loses only itself on load.
+
+Integrity: every record written since the checksum era carries a ``sum``
+field — the content hash of the rest of the document.  A record whose
+checksum no longer matches (bit rot, a partial overwrite, a hand edit)
+is skipped and counted on load (:attr:`CampaignStore.corrupt_records`),
+never trusted; records from before the checksum era have no ``sum`` and
+are grandfathered in.  :func:`fsck_store` audits an archive offline and
+``--repair`` rewrites it atomically keeping only verifiable records
+(re-encoding them, which retrofits checksums onto legacy lines).
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional, Union
 
 from ..scenarios.spec import ScenarioSpec
-from ..util.serialization import append_jsonl, content_hash, iter_jsonl
+from ..util.serialization import (
+    append_jsonl,
+    canonical_json,
+    content_hash,
+    iter_jsonl,
+)
 from .campaign import CampaignReport
 
-__all__ = ["CampaignStore", "StoredCell", "StoreFormatError", "StoreBackend",
-           "JsonlBackend", "MemoryBackend", "cell_hash", "cell_key",
-           "format_cell_key"]
+__all__ = ["CampaignStore", "StoredCell", "StoreFormatError",
+           "StoreChecksumError", "StoreBackend", "JsonlBackend",
+           "MemoryBackend", "FsckReport", "fsck_store", "cell_hash",
+           "cell_key", "format_cell_key"]
 
 #: Record-format version, bumped on incompatible layout changes.
 _FORMAT = 1
@@ -47,6 +63,13 @@ class StoreFormatError(ValueError):
     themselves on load, a format mismatch must abort loudly rather than
     silently dropping a whole archive's worth of cells.
     """
+
+
+class StoreChecksumError(ValueError):
+    """A record whose ``sum`` field does not match its content.
+
+    The bytes parsed as JSON but are provably not what was written —
+    corruption, not version drift.  Skipped and counted on load."""
 
 
 def cell_hash(spec: ScenarioSpec, months: Optional[float] = None) -> str:
@@ -78,7 +101,12 @@ def cell_key(spec: ScenarioSpec, seed: int, months: Optional[float] = None) -> s
 
 @dataclass(frozen=True)
 class StoredCell:
-    """One archived matrix cell (a success or a recorded failure)."""
+    """One archived matrix cell (a success or a recorded failure).
+
+    ``quarantined`` marks a poison cell: it failed every supervised
+    attempt (or hung past its watchdog), so ``resume`` must *not* retry
+    it — unlike an ordinary recorded failure, which resume heals.
+    """
 
     key: str
     spec_hash: str
@@ -88,13 +116,14 @@ class StoredCell:
     spec: dict
     report: Optional[CampaignReport] = None
     error: Optional[str] = None
+    quarantined: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None and self.report is not None
 
     def to_doc(self) -> dict:
-        return {
+        doc = {
             "v": _FORMAT,
             "key": self.key,
             "spec_hash": self.spec_hash,
@@ -105,13 +134,28 @@ class StoredCell:
             "status": "ok" if self.ok else "error",
             "report": self.report.to_dict() if self.report is not None else None,
             "error": self.error,
+            "quarantined": self.quarantined,
         }
+        # Written last, over everything above: the record carries the
+        # proof of its own integrity.
+        doc["sum"] = content_hash(doc)
+        return doc
 
     @classmethod
     def from_doc(cls, doc: dict) -> "StoredCell":
         if doc.get("v") != _FORMAT:
             raise StoreFormatError(
                 f"unsupported store record version {doc.get('v')!r}")
+        checksum = doc.get("sum")
+        if checksum is not None:
+            body = {k: v for k, v in doc.items() if k != "sum"}
+            actual = content_hash(body)
+            if actual != checksum:
+                raise StoreChecksumError(
+                    f"record checksum mismatch for key "
+                    f"{doc.get('key')!r}: stored {checksum}, "
+                    f"content hashes to {actual}")
+        # else: pre-checksum record, grandfathered.
         report_doc = doc.get("report")
         return cls(
             key=doc["key"],
@@ -123,6 +167,7 @@ class StoredCell:
             report=(CampaignReport.from_dict(report_doc)
                     if report_doc is not None else None),
             error=doc.get("error"),
+            quarantined=bool(doc.get("quarantined", False)),
         )
 
 
@@ -153,12 +198,19 @@ class JsonlBackend(StoreBackend):
     def __init__(self, path: Union[str, "os.PathLike[str]"]):
         self.path = os.fspath(path)
         self.location = self.path
+        #: Unparseable (torn/garbled) lines seen by the last load.
+        self.skipped_lines = 0
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
 
     def load(self) -> Iterator[dict]:
+        self.skipped_lines = 0
+
+        def count(lineno: int, reason: str) -> None:
+            self.skipped_lines += 1
+
         if os.path.exists(self.path):
-            yield from iter_jsonl(self.path)
+            yield from iter_jsonl(self.path, on_skip=count)
 
     def append(self, doc: dict) -> None:
         append_jsonl(self.path, doc)
@@ -200,16 +252,29 @@ class CampaignStore:
         #: Back-compat: the JSONL path, or the backend's display location.
         self.path = getattr(self.backend, "path", self.backend.location)
         self._cells: dict[str, StoredCell] = {}
+        #: Records skipped on load because their checksum failed.
+        self.corrupt_records = 0
+        #: Records skipped on load for any other damage (torn lines,
+        #: missing/mistyped fields, non-record JSON).
+        self.damaged_records = 0
         for doc in self.backend.load():
             if not isinstance(doc, dict):
+                self.damaged_records += 1
                 continue  # damaged record: JSON, but not one of ours
             try:
                 cell = StoredCell.from_doc(doc)
             except StoreFormatError:
                 raise  # a future format must not become silent data loss
+            except StoreChecksumError:
+                self.corrupt_records += 1
+                continue  # provably-rotten record loses only itself
             except (KeyError, TypeError, ValueError):
+                self.damaged_records += 1
                 continue  # field-damaged record loses only itself
             self._cells[cell.key] = cell
+        # Torn lines never reach the document loop; the backend counts
+        # what it had to skip at the byte level.
+        self.damaged_records += getattr(self.backend, "skipped_lines", 0)
 
     # -- queries ---------------------------------------------------------------
 
@@ -253,15 +318,18 @@ class CampaignStore:
 
     def record_failure(self, spec: ScenarioSpec, seed: int, error: str,
                        months: Optional[float] = None,
-                       spec_hash: Optional[str] = None) -> StoredCell:
+                       spec_hash: Optional[str] = None,
+                       quarantined: bool = False) -> StoredCell:
         return self.record(self._make_cell(spec, seed, months, spec_hash,
-                                           error=error))
+                                           error=error,
+                                           quarantined=quarantined))
 
     def _make_cell(self, spec: ScenarioSpec, seed: int,
                    months: Optional[float],
                    spec_hash: Optional[str] = None,
                    report: Optional[CampaignReport] = None,
-                   error: Optional[str] = None) -> StoredCell:
+                   error: Optional[str] = None,
+                   quarantined: bool = False) -> StoredCell:
         effective = float(months) if months is not None else float(spec.months)
         if spec_hash is None:
             spec_hash = cell_hash(spec, months)
@@ -279,6 +347,7 @@ class CampaignStore:
             spec=doc,
             report=report,
             error=error,
+            quarantined=quarantined,
         )
 
     # -- interop ---------------------------------------------------------------
@@ -316,5 +385,113 @@ class CampaignStore:
 
         cells.sort(key=lambda c: (c.scenario, c.months, c.seed))
         return [CampaignRun(scenario=label(c), seed=c.seed, report=c.report,
-                            spec_hash=c.spec_hash, error=c.error)
+                            spec_hash=c.spec_hash, error=c.error,
+                            quarantined=c.quarantined)
                 for c in cells]
+
+
+# -- offline integrity audit ---------------------------------------------------
+
+
+@dataclass
+class FsckReport:
+    """What :func:`fsck_store` found (and possibly fixed)."""
+
+    total_lines: int = 0       # non-blank lines examined
+    valid: int = 0             # verifiable records (checksum OK or legacy)
+    legacy: int = 0            # of the valid: pre-checksum records
+    torn: int = 0              # unparseable lines (torn tails, bit rot)
+    checksum_failed: int = 0   # parsed, but the checksum disagrees
+    malformed: int = 0         # parsed JSON that is not a store record
+    version_skew: int = 0      # records from a newer store format
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """No damage (version-skew records are foreign, not damaged)."""
+        return (self.torn == 0 and self.checksum_failed == 0
+                and self.malformed == 0)
+
+    def to_doc(self) -> dict:
+        return {
+            "total_lines": self.total_lines,
+            "valid": self.valid,
+            "legacy": self.legacy,
+            "torn": self.torn,
+            "checksum_failed": self.checksum_failed,
+            "malformed": self.malformed,
+            "version_skew": self.version_skew,
+            "clean": self.clean,
+            "repaired": self.repaired,
+        }
+
+    def __str__(self) -> str:
+        verdict = "clean" if self.clean else "DAMAGED"
+        parts = [f"{self.total_lines} lines: {self.valid} valid "
+                 f"({self.legacy} legacy, now checksummed on repair)"]
+        for label, n in (("torn", self.torn),
+                         ("checksum-failed", self.checksum_failed),
+                         ("malformed", self.malformed),
+                         ("version-skew", self.version_skew)):
+            if n:
+                parts.append(f"{n} {label}")
+        suffix = " [repaired]" if self.repaired else ""
+        return f"{verdict}: " + ", ".join(parts) + suffix
+
+
+def fsck_store(path: Union[str, "os.PathLike[str]"],
+               repair: bool = False) -> FsckReport:
+    """Audit a JSONL campaign store; optionally rewrite it clean.
+
+    Every non-blank line is classified (see :class:`FsckReport`).  With
+    ``repair=True`` and anything to fix — damage, or legacy records that
+    would gain checksums — the file is atomically rewritten (tmp file +
+    ``os.replace``) keeping verifiable records re-encoded in order;
+    version-skew records are preserved verbatim (a newer tool owns them),
+    damaged ones are dropped.  Without damage and without legacy records
+    the file is left untouched.
+    """
+    path = os.fspath(path)
+    report = FsckReport()
+    keep: list[str] = []
+    # errors="replace": classify bit-rotten lines instead of crashing.
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            report.total_lines += 1
+            try:
+                doc = json.loads(stripped)
+            except json.JSONDecodeError:
+                report.torn += 1
+                continue
+            if not isinstance(doc, dict):
+                report.malformed += 1
+                continue
+            try:
+                cell = StoredCell.from_doc(doc)
+            except StoreChecksumError:
+                report.checksum_failed += 1
+                continue
+            except StoreFormatError:
+                report.version_skew += 1
+                keep.append(stripped)  # foreign, preserved verbatim
+                continue
+            except (KeyError, TypeError, ValueError):
+                report.malformed += 1
+                continue
+            report.valid += 1
+            if doc.get("sum") is None:
+                report.legacy += 1
+            keep.append(canonical_json(cell.to_doc()))
+    if repair and (not report.clean or report.legacy):
+        tmp = path + ".fsck-tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for line in keep:
+                fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        report.repaired = True
+    return report

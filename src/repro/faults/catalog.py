@@ -42,6 +42,7 @@ __all__ = [
     "FaultInstance",
     "FaultContext",
     "FAULT_SPECS",
+    "TRANSPORT_FAULT_SPECS",
     "spec_for",
     "apply_fault",
     "revert_fault",
@@ -53,6 +54,7 @@ class Severity(enum.Enum):
     AVAILABILITY = "availability"  # breaks node/service availability
     CORRECTNESS = "correctness"  # wrong data served to users
     SERVICE = "service"  # degrades a testbed service
+    TRANSPORT = "transport"  # degrades the service wire layer itself
 
 
 class FaultKind(enum.Enum):
@@ -86,6 +88,13 @@ class FaultKind(enum.Enum):
     DEPLOY_DEGRADED = "deploy-degraded"
     KAVLAN_MISCONFIG = "kavlan-misconfig"
     KWAPI_DOWN = "kwapi-down"
+    # Service wire layer (scheduled by the chaos transport, not the
+    # in-world injector — see TRANSPORT_FAULT_SPECS below)
+    CONN_DROP = "conn-drop"
+    LINE_GARBAGE = "line-garbage"
+    LINE_SPLIT = "line-split"
+    LINE_DUP = "line-dup"
+    LINE_DELAY = "line-delay"
 
 
 @dataclass(frozen=True)
@@ -178,7 +187,38 @@ FAULT_SPECS: dict[FaultKind, FaultSpec] = {
 }
 
 
+#: Wire-layer fault kinds, scheduled by the chaos transport
+#: (:mod:`repro.service.chaos`) against the ``repro-sim-1`` protocol.
+#: Deliberately a SEPARATE table: ``FaultInjector`` derives its default
+#: kind tuple and RNG weight vector from :data:`FAULT_SPECS`, so folding
+#: these in would shift every in-world fault draw and break the pinned
+#: determinism goldens.  ``detectable_by`` names the recovery mechanism
+#: expected to mask each fault end to end.
+TRANSPORT_FAULT_SPECS: dict[FaultKind, FaultSpec] = {
+    s.kind: s
+    for s in [
+        FaultSpec(FaultKind.CONN_DROP, Severity.TRANSPORT, 1.5,
+                  frozenset({"resm"}),
+                  "connection dropped mid-exchange (RESM resumes the run)"),
+        FaultSpec(FaultKind.LINE_GARBAGE, Severity.TRANSPORT, 2.0,
+                  frozenset({"err-recovery"}),
+                  "garbage line injected into the stream (answered ERR)"),
+        FaultSpec(FaultKind.LINE_SPLIT, Severity.TRANSPORT, 2.0,
+                  frozenset({"err-recovery"}),
+                  "one line torn into two partial lines"),
+        FaultSpec(FaultKind.LINE_DUP, Severity.TRANSPORT, 2.0,
+                  frozenset({"err-recovery"}),
+                  "one line delivered twice"),
+        FaultSpec(FaultKind.LINE_DELAY, Severity.TRANSPORT, 2.5,
+                  frozenset({"heartbeat"}),
+                  "line delivery stalled (heartbeat keeps the peer honest)"),
+    ]
+}
+
+
 def spec_for(kind: FaultKind) -> FaultSpec:
+    if kind in TRANSPORT_FAULT_SPECS:
+        return TRANSPORT_FAULT_SPECS[kind]
     return FAULT_SPECS[kind]
 
 

@@ -10,17 +10,23 @@ Layers, bottom up:
   adapter registered as a regular scheduling strategy;
 * :mod:`~repro.service.campaign` — the deduplicating matrix runner over
   a shared :class:`~repro.core.store.CampaignStore`;
+* :mod:`~repro.service.resume` — run tokens and the replayable decision
+  log behind the ``RESM`` verb;
+* :mod:`~repro.service.chaos` — the seeded fault-injecting transport
+  wrapper the convergence suite drives;
 * :mod:`~repro.service.server` / :mod:`~repro.service.client` — the TCP
   service and the bundled reference client.
 
 See the README's "Driving the simulator from another process" section
-for the verb table and the determinism contract.
+for the verb table, the determinism contract, and failure semantics.
 """
 
 from .campaign import CampaignService
-from .client import ClientError, ReferenceClient
+from .chaos import ChaosConfig, ChaosPlan, ChaosTransport
+from .client import ClientError, ConnectionLost, ReferenceClient, ServerError
 from .policy import ExternalProtocolStrategy
 from .protocol import PROTOCOL_VERSION, Message, ProtocolError, decode, encode
+from .resume import RunRecord, RunRegistry
 from .server import SimulatorService
 from .session import Session, SessionClosed, SocketTransport, Transport
 
@@ -39,4 +45,11 @@ __all__ = [
     "SimulatorService",
     "ReferenceClient",
     "ClientError",
+    "ServerError",
+    "ConnectionLost",
+    "RunRecord",
+    "RunRegistry",
+    "ChaosConfig",
+    "ChaosPlan",
+    "ChaosTransport",
 ]

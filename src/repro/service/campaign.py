@@ -55,7 +55,7 @@ class CampaignService:
         Raises ``KeyError``/``TypeError``/``ValueError`` on a bad
         document (the session maps those onto ``ERR arg``).
         """
-        specs, seeds, months, workers = self._validate(doc)
+        specs, seeds, months, workers, supervision = self._validate(doc)
         total = len(specs) * len(seeds)
         counter = [0]
 
@@ -67,7 +67,8 @@ class CampaignService:
         with self._lock:
             return run_campaigns(
                 specs, seeds=seeds, workers=workers, months=months,
-                store=self.store, resume=True, on_cell=progress)
+                store=self.store, resume=True, on_cell=progress,
+                **supervision)
 
     def stored_runs(self) -> list[dict]:
         """Every archived cell as a JSON document (RPRT store answer)."""
@@ -113,4 +114,17 @@ class CampaignService:
             raise ValueError(
                 f"matrix of {len(specs) * len(seeds)} cells exceeds the "
                 f"{MAX_CELLS}-cell service limit")
-        return specs, seeds, months, workers
+        # Optional supervision knobs (see run_campaigns): a remote
+        # submitter may bound hung cells and retry/quarantine crashers.
+        supervision: dict = {}
+        if doc.get("cell_timeout_s") is not None:
+            timeout = float(doc["cell_timeout_s"])
+            if not timeout > 0:
+                raise ValueError("'cell_timeout_s' must be positive")
+            supervision["cell_timeout_s"] = timeout
+        if doc.get("max_cell_attempts") is not None:
+            attempts = int(doc["max_cell_attempts"])
+            if attempts < 1:
+                raise ValueError("'max_cell_attempts' must be >= 1")
+            supervision["max_cell_attempts"] = attempts
+        return specs, seeds, months, workers, supervision

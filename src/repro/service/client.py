@@ -18,7 +18,17 @@ as executable documentation for a client in any language.  It mirrors
 Following presentation order is the client half of the determinism
 contract; the server half freezes simulated time during the round.  The
 resulting report is byte-identical to an in-process run at the same seed
-(``verify_hash`` checks the sha256 the server advertises).
+(``fetch_report`` checks the sha256 the server advertises).
+
+Resilience: :meth:`run_scenario` survives a dying connection.  The run
+token from ``OK run <token>`` is captured before the first tick; any wire
+failure mid-run abandons the socket, backs off (capped exponential with
+*seeded* jitter — no ``random`` module, detlint DET003-clean), reconnects
+and sends ``RESM <token>``.  The server replays the committed decision
+log and the client renegotiates the rest — deterministically, so the
+recovered report is byte-identical to an undisturbed run.  Explicit
+server verdicts (``ERR arg`` / ``ERR run``) are not wire damage and fail
+fast; everything else is retried up to ``retries`` times.
 """
 
 from __future__ import annotations
@@ -26,11 +36,13 @@ from __future__ import annotations
 import hashlib
 import json
 import socket
-from typing import Optional
+import time
+from typing import Callable, Optional
 
-from .protocol import MAX_LINE_BYTES, PROTOCOL_VERSION, Message, decode, encode
+from .protocol import PROTOCOL_VERSION, Message, ProtocolError, decode, encode
+from .session import SessionClosed, SocketTransport, Transport
 
-__all__ = ["ReferenceClient", "ClientError"]
+__all__ = ["ReferenceClient", "ClientError", "ServerError", "ConnectionLost"]
 
 _DAY = 86400.0
 _HOUR = 3600.0
@@ -46,7 +58,28 @@ def _is_peak_hours(t: float) -> bool:
 
 
 class ClientError(Exception):
-    """The server answered ERR (or broke protocol)."""
+    """The conversation went wrong (base for all client failures)."""
+
+
+class ServerError(ClientError):
+    """The server answered ``ERR``; ``code`` is its first argument."""
+
+    def __init__(self, args: tuple):
+        super().__init__(" ".join(args))
+        self.code = args[0] if args else "?"
+
+
+class ConnectionLost(ClientError):
+    """The connection died (EOF, reset, timeout): resumable wire damage."""
+
+
+#: Failures worth a reconnect: dead sockets, torn/garbled lines (which
+#: surface as codec errors or shifted message streams), and ill-timed
+#: server answers.  Explicit ``ERR`` verdicts are judged separately by
+#: their code.  ``ValueError``/``IndexError``/``KeyError`` are how a
+#: *truncated-but-parseable* line fails once its arguments are consumed.
+_WIRE_DAMAGE = (OSError, ProtocolError, ClientError, ValueError,
+                IndexError, KeyError, TypeError)
 
 
 class _Job:
@@ -73,38 +106,118 @@ class _Job:
         return self.free >= int(self.need)
 
 
+class _RunProgress:
+    """Cross-attempt state of one :meth:`run_scenario` call."""
+
+    __slots__ = ("token", "done", "completions", "ticks")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.token: Optional[str] = None
+        self.done = False
+        #: Approximate under resume (aborted rounds may double-count);
+        #: ``ticks`` is exact — the server reports it on DONE.
+        self.completions = 0
+        self.ticks = 0
+
+
 class ReferenceClient:
-    """Drive campaigns over a socket; context-manager friendly."""
+    """Drive campaigns over a socket; context-manager friendly.
+
+    ``retries``/``backoff_base_s``/``backoff_cap_s`` govern mid-run
+    recovery: each reconnect waits ``min(cap, base·2^(attempt-1))``
+    scaled by a deterministic jitter in [0.5, 1.0] derived from
+    ``backoff_seed`` — two clients with different seeds desynchronize
+    their retry storms, yet every run of the same client is reproducible.
+
+    ``transport_wrap`` (if given) wraps every connection's transport —
+    the seam the chaos convergence suite uses to inject faults.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 name: str = "refclient", timeout_s: float = 300.0):
-        self.sock = socket.create_connection((host, port), timeout=timeout_s)
-        try:
-            # Mirror the server: tiny lines must not sit in Nagle's buffer
-            # waiting for the peer's delayed ACK.
-            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        except OSError:
-            pass
-        self._rfile = self.sock.makefile("rb")
+                 name: str = "refclient", timeout_s: float = 300.0,
+                 retries: int = 8, backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 2.0, backoff_seed: int = 0,
+                 transport_wrap: Optional[
+                     Callable[[Transport], Transport]] = None):
+        self.host = host
+        self.port = port
+        self.name = name
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.backoff_seed = backoff_seed
+        self._wrap = transport_wrap
+        self._transport: Optional[Transport] = None
+        self._closed = False
         self.policy: Optional[dict] = None
-        self._send("HELO", PROTOCOL_VERSION, name)
-        self._expect("OK")
+        self._connect_retrying()
 
     # -- wire plumbing ---------------------------------------------------------
 
+    def _connect_retrying(self) -> None:
+        """Bounded-retry first connect: chaos can kill even the HELO."""
+        for attempt in range(self.retries + 1):
+            try:
+                self._connect()
+                return
+            except _WIRE_DAMAGE as exc:
+                self._abandon()
+                if attempt >= self.retries:
+                    raise ClientError(
+                        f"could not establish a session in "
+                        f"{self.retries + 1} attempts "
+                        f"(last failure: {exc})") from exc
+                time.sleep(self._backoff_delay(attempt + 1))
+
+    def _connect(self) -> None:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout_s)
+        transport: Transport = SocketTransport(
+            sock, recv_deadline_s=self.timeout_s)
+        if self._wrap is not None:
+            transport = self._wrap(transport)
+        self._transport = transport
+        self._send("HELO", PROTOCOL_VERSION, self.name)
+        self._expect("OK")
+
+    def _abandon(self) -> None:
+        """Drop the connection without ceremony (the server's session
+        EOFs, which is exactly what flips a run record to resumable)."""
+        transport, self._transport = self._transport, None
+        if transport is not None:
+            transport.close()
+
     def _send(self, verb: str, *args: object) -> None:
-        self.sock.sendall(encode(verb, *args).encode("utf-8") + b"\n")
+        if self._transport is None:
+            raise ConnectionLost("not connected")
+        try:
+            self._transport.send_line(encode(verb, *args))
+        except SessionClosed as exc:
+            raise ConnectionLost(str(exc)) from None
+
+    def _raw_line(self) -> str:
+        if self._transport is None:
+            raise ConnectionLost("not connected")
+        try:
+            return self._transport.recv_line()
+        except SessionClosed as exc:
+            raise ConnectionLost(str(exc)) from None
 
     def _recv(self) -> Message:
-        raw = self._rfile.readline(MAX_LINE_BYTES + 2)
-        if not raw:
-            raise ClientError("server closed the connection")
-        return decode(raw.decode("utf-8").rstrip("\r\n"))
+        while True:
+            msg = decode(self._raw_line())
+            if msg.verb == "PING":
+                continue  # heartbeat: liveness only, never answered
+            return msg
 
     def _expect(self, verb: str) -> Message:
         msg = self._recv()
         if msg.verb == "ERR":
-            raise ClientError(" ".join(msg.args))
+            raise ServerError(msg.args)
         if msg.verb != verb:
             raise ClientError(f"expected {verb}, got {msg.verb}")
         return msg
@@ -112,38 +225,106 @@ class ReferenceClient:
     def _read_data_block(self) -> list[str]:
         header = self._expect("DATA")
         count = int(header.args[0])
-        lines = []
-        for _ in range(count):
-            raw = self._rfile.readline(MAX_LINE_BYTES + 2)
-            if not raw:
-                raise ClientError("EOF inside DATA block")
-            lines.append(raw.decode("utf-8").rstrip("\r\n"))
+        lines = [self._raw_line() for _ in range(count)]
         self._expect(".")
         return lines
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Capped exponential backoff with deterministic jitter."""
+        raw = min(self.backoff_cap_s,
+                  self.backoff_base_s * 2 ** max(0, attempt - 1))
+        digest = hashlib.sha256(
+            f"{self.backoff_seed}:{self.name}:{attempt}".encode()).digest()
+        return raw * (0.5 + 0.5 * digest[0] / 255.0)
 
     # -- the scheduling loop ---------------------------------------------------
 
     def run_scenario(self, scenario: str, seed: int = 0,
                      months: Optional[float] = None) -> dict:
-        """Drive one campaign; returns ``{"sha256":…, "report":…, …}``."""
-        self._send("RUN", scenario, seed,
-                   repr(float(months)) if months is not None else "-")
-        ticks = completions = 0
+        """Drive one campaign; returns ``{"sha256":…, "report":…, …}``.
+
+        Survives connection loss: bounded reconnect attempts, each
+        resuming via ``RESM`` (or restarting the deterministic run when
+        no usable token survived).
+        """
+        state = _RunProgress()
+        for attempt in range(self.retries + 1):
+            try:
+                return self._attempt_run(scenario, seed, months, state)
+            except ServerError as exc:
+                # An explicit verdict on a well-formed request fails the
+                # same way every retry: unknown scenario / bad seed
+                # ("arg") or a deterministic campaign failure ("run").
+                if exc.code in ("arg", "run"):
+                    raise
+                failure: Exception = exc
+            except _WIRE_DAMAGE as exc:
+                failure = exc
+            if attempt >= self.retries:
+                raise ClientError(
+                    f"run did not survive {self.retries} reconnects "
+                    f"(last failure: {failure})") from failure
+            self._abandon()
+            time.sleep(self._backoff_delay(attempt + 1))
+        raise AssertionError("unreachable")
+
+    def _attempt_run(self, scenario: str, seed: int,
+                     months: Optional[float], state: _RunProgress) -> dict:
+        """One connection's worth of progress on the run."""
+        if self._transport is None:
+            self._connect()
+        if state.done and state.token is None:
+            # Finished, but the report fetch needs a token on a fresh
+            # connection and none survived: re-run (deterministic, so
+            # the report is identical).
+            state.reset()
+        if not state.done:
+            if state.token is None:
+                self._send("RUN", scenario, seed,
+                           repr(float(months)) if months is not None else "-")
+                ok = self._expect("OK")
+                if len(ok.args) >= 2 and ok.args[0] == "run":
+                    state.token = ok.args[1]
+            else:
+                self._send("RESM", state.token)
+                try:
+                    self._expect("OK")
+                except ServerError as exc:
+                    if exc.code == "run":
+                        # The server never issued this token — it was
+                        # corrupted in flight.  Start the run over.
+                        state.reset()
+                        raise ClientError(
+                            f"stale run token: {exc}") from exc
+                    raise
+            self._run_loop(state)
+        try:
+            sha, report = self._fetch_report_verified(state.token)
+        except ServerError as exc:
+            if exc.code == "run":
+                state.reset()  # corrupted token: re-run from scratch
+                raise ClientError(f"stale run token: {exc}") from exc
+            raise
+        return {"scenario": scenario, "seed": seed, "months": months,
+                "ticks": state.ticks, "completions": state.completions,
+                "sha256": sha, "report": report}
+
+    def _run_loop(self, state: _RunProgress) -> None:
+        """Negotiate ticks until DONE (one connection's attempt)."""
         while True:
             msg = self._recv()
             if msg.verb == "TICK":
-                ticks += 1
-                completions += self._round(msg)
+                state.completions += self._round(msg)
             elif msg.verb == "DONE":
-                break
+                state.done = True
+                for arg in msg.args:
+                    if arg.startswith("ticks="):
+                        state.ticks = int(arg[len("ticks="):])
+                return
             elif msg.verb == "ERR":
-                raise ClientError(" ".join(msg.args))
+                raise ServerError(msg.args)
             else:
                 raise ClientError(f"unexpected {msg.verb} during run")
-        sha, report = self.fetch_report()
-        return {"scenario": scenario, "seed": seed, "months": months,
-                "ticks": ticks, "completions": completions,
-                "sha256": sha, "report": report}
 
     def _round(self, tick: Message) -> int:
         now = float(tick.args[0])
@@ -184,9 +365,16 @@ class ReferenceClient:
 
     # -- results + campaigns ---------------------------------------------------
 
-    def fetch_report(self) -> tuple[str, dict]:
-        """RPRT: the last run's report, hash-verified end to end."""
-        self._send("RPRT")
+    def fetch_report(self, token: Optional[str] = None) -> tuple[str, dict]:
+        """RPRT: the last (or ``token``'s) report, hash-verified."""
+        return self._fetch_report_verified(token)
+
+    def _fetch_report_verified(
+            self, token: Optional[str]) -> tuple[str, dict]:
+        if token is not None:
+            self._send("RPRT", token)
+        else:
+            self._send("RPRT")
         advertised = self._expect("RPRT").args[0]
         body = self._read_data_block()[0]
         digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
@@ -213,7 +401,7 @@ class ReferenceClient:
             elif msg.verb == "DONE":
                 return cells
             elif msg.verb == "ERR":
-                raise ClientError(" ".join(msg.args))
+                raise ServerError(msg.args)
             else:
                 raise ClientError(f"unexpected {msg.verb} during SUBM")
 
@@ -223,14 +411,25 @@ class ReferenceClient:
         return json.loads(self._read_data_block()[0])
 
     def close(self) -> None:
+        """Idempotent, exception-safe teardown: QUIT is best-effort and
+        a dead socket never raises out of here (or ``__exit__``)."""
+        if self._closed:
+            return
+        self._closed = True
+        transport, self._transport = self._transport, None
+        if transport is None:
+            return
         try:
-            self._send("QUIT")
-            self._expect("OK")
-        except (OSError, ClientError):
+            # Cap the farewell: a wedged server must not stall close().
+            inner = getattr(transport, "inner", transport)
+            if hasattr(inner, "recv_deadline_s"):
+                inner.recv_deadline_s = 2.0
+            transport.send_line(encode("QUIT"))
+            transport.recv_line()  # the OK bye, if the server is alive
+        except (OSError, SessionClosed, ClientError, ProtocolError):
             pass
         finally:
-            self._rfile.close()
-            self.sock.close()
+            transport.close()
 
     def __enter__(self) -> "ReferenceClient":
         return self

@@ -14,15 +14,16 @@ well-formed :class:`Message` values or a typed :class:`ProtocolError` it
 can answer with ``ERR``.
 
 Client → server verbs
-    ``HELO`` version [name] · ``RUN`` scenario seed months · ``GETS``
-    what · ``SCHD`` cell · ``DEFR`` cell · ``REDY`` · ``SUBM`` json ·
-    ``RPRT`` · ``CMPR`` baseline · ``QUIT``
+    ``HELO`` version [name] · ``RUN`` scenario seed months · ``RESM``
+    run-token · ``GETS`` what · ``SCHD`` cell · ``DEFR`` cell · ``REDY``
+    · ``SUBM`` json · ``RPRT`` · ``CMPR`` baseline · ``QUIT``
 
 Server → client verbs
-    ``OK`` · ``ERR`` code reason · ``TICK`` t n_jcpl n_jobn · ``JCPL``
-    t cell status · ``JOBN`` cell kind site cluster need inflight alive
-    free runs blocked · ``DATA`` n · ``CELL`` scenario seed status i
-    total · ``DONE`` detail · ``RPRT`` sha256 · ``.``
+    ``OK`` · ``ERR`` code reason · ``PING`` [t] · ``TICK`` t n_jcpl
+    n_jobn · ``JCPL`` t cell status · ``JOBN`` cell kind site cluster
+    need inflight alive free runs blocked · ``DATA`` n · ``CELL``
+    scenario seed status i total · ``DONE`` detail · ``RPRT`` sha256 ·
+    ``.``
 
 Timestamps are serialized with :func:`repr` so the float round-trips
 exactly — the determinism contract depends on both peers computing
@@ -43,8 +44,12 @@ PROTOCOL_VERSION = "repro-sim-1"
 #: Hard cap on one line (a SUBM matrix document is the largest message).
 MAX_LINE_BYTES = 65536
 
-#: ``ERR`` code vocabulary (first ERR argument).
-ERR_CODES = ("proto", "verb", "arity", "arg", "state", "run", "internal")
+#: ``ERR`` code vocabulary (first ERR argument).  ``toobig`` is the
+#: dedicated answer for a line over :data:`MAX_LINE_BYTES` — a client
+#: seeing it knows the peer is about to drop the connection rather than
+#: attempt to resynchronize inside the oversized line.
+ERR_CODES = ("proto", "verb", "arity", "arg", "state", "run", "toobig",
+             "internal")
 
 #: verb -> (min_args, max_args | None for unbounded, rawtail).
 #: ``rawtail`` verbs take everything after the verb as one argument that
@@ -53,6 +58,7 @@ _VERBS: dict[str, tuple[int, Optional[int], bool]] = {
     # client -> server
     "HELO": (1, 2, False),
     "RUN": (3, 3, False),
+    "RESM": (1, 1, False),
     "GETS": (1, 1, False),
     "SCHD": (1, 1, False),
     "DEFR": (1, 1, False),
@@ -64,6 +70,7 @@ _VERBS: dict[str, tuple[int, Optional[int], bool]] = {
     # server -> client
     "OK": (0, None, False),
     "ERR": (1, None, False),
+    "PING": (0, 1, False),
     "TICK": (3, 3, False),
     "JCPL": (3, 3, False),
     "JOBN": (10, 10, False),
@@ -128,14 +135,16 @@ def encode(verb: str, *args: object) -> str:
         parts.append(text)
     line = " ".join(parts)
     if len(line.encode("utf-8")) > MAX_LINE_BYTES:
-        raise ProtocolError("proto", f"{verb} line exceeds {MAX_LINE_BYTES}B")
+        raise ProtocolError("toobig",
+                            f"{verb} line exceeds {MAX_LINE_BYTES}B")
     return line
 
 
 def decode(line: str) -> Message:
     """Parse one received line (newline already stripped)."""
     if len(line.encode("utf-8", errors="replace")) > MAX_LINE_BYTES:
-        raise ProtocolError("proto", f"line exceeds {MAX_LINE_BYTES} bytes")
+        raise ProtocolError("toobig",
+                            f"line exceeds {MAX_LINE_BYTES} bytes")
     line = line.strip()
     if not line:
         raise ProtocolError("proto", "empty line")

@@ -2,9 +2,16 @@
 
 Each accepted connection gets its own thread and :class:`Session`; the
 sessions share a single :class:`CampaignService` (and thus one dedupe
-store).  ``RUN`` campaigns are fully connection-local — each builds its
-own simulated world — so concurrent clients never contend on simulator
-state, only on the campaign store's lock.
+store) and a single :class:`~repro.service.resume.RunRegistry`, so a
+client that lost its connection mid-``RUN`` can reconnect — landing in a
+*different* session — and ``RESM`` its run.  ``RUN`` campaigns are fully
+connection-local — each builds its own simulated world — so concurrent
+clients never contend on simulator state, only on the store's lock.
+
+Peer-death handling: ``session_timeout_s`` is the recv deadline (a peer
+silent that long frees its session thread), and ``heartbeat_interval_s``
+paces ``PING`` probes while a session waits — a broken connection fails
+the probe's *send* immediately instead of wedging until the deadline.
 
 ``port=0`` binds an ephemeral port (tests); :attr:`address` reports the
 bound endpoint either way.
@@ -18,6 +25,7 @@ import threading
 from typing import Optional
 
 from .campaign import CampaignService
+from .resume import RunRegistry
 from .session import Session, SocketTransport
 
 __all__ = ["SimulatorService"]
@@ -25,10 +33,15 @@ __all__ = ["SimulatorService"]
 
 class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
-        self.request.settimeout(self.server.session_timeout_s)
-        transport = SocketTransport(self.request)
-        Session(transport, campaigns=self.server.campaigns,
-                server_name=self.server.server_name).serve()
+        transport = SocketTransport(
+            self.request,
+            recv_deadline_s=self.server.session_timeout_s,
+            heartbeat_interval_s=self.server.heartbeat_interval_s)
+        session = Session(transport, campaigns=self.server.campaigns,
+                          server_name=self.server.server_name,
+                          runs=self.server.runs)
+        transport.on_idle = session.heartbeat
+        session.serve()
 
 
 class _ThreadingServer(socketserver.ThreadingTCPServer):
@@ -41,16 +54,24 @@ class SimulatorService:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  store=None, name: str = "repro-sim",
-                 session_timeout_s: float = 300.0):
+                 session_timeout_s: float = 300.0,
+                 heartbeat_interval_s: float = 30.0):
         self._server = _ThreadingServer((host, port), _Handler)
         self._server.campaigns = CampaignService(store)
         self._server.server_name = name
         self._server.session_timeout_s = session_timeout_s
+        self._server.heartbeat_interval_s = heartbeat_interval_s
+        self._server.runs = RunRegistry()
         self._thread: Optional[threading.Thread] = None
 
     @property
     def campaigns(self) -> CampaignService:
         return self._server.campaigns
+
+    @property
+    def runs(self) -> RunRegistry:
+        """The shared run registry (RESM tokens live here)."""
+        return self._server.runs
 
     @property
     def address(self) -> tuple[str, int]:

@@ -15,6 +15,13 @@ is pending, and decisions apply in arrival order.
 Malformed input never kills the server: codec errors and ill-timed verbs
 are answered with ``ERR <code> <reason>`` and the session keeps reading.
 Only EOF/timeouts (:class:`SessionClosed`) and ``QUIT`` end it.
+
+Resilience: every ``RUN`` is issued a token and its committed ticks are
+recorded in a :class:`~repro.service.resume.RunRegistry`; a client that
+lost its connection mid-run reconnects and sends ``RESM <token>`` to
+resume deterministically (see :mod:`repro.service.resume`).  While a
+session waits on a silent peer it sends ``PING`` heartbeats, and a peer
+that stays silent past the recv deadline frees the session.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ import hashlib
 import json
 import socket
 from dataclasses import asdict
-from typing import Optional
+from typing import Callable, Optional
 
 from .. import scenarios
 from ..analysis.compare import compare_runs
@@ -38,6 +45,7 @@ from .protocol import (
     encode,
     format_time_arg,
 )
+from .resume import RunRecord, RunRegistry
 
 __all__ = ["Session", "SessionClosed", "Transport", "SocketTransport"]
 
@@ -62,66 +70,134 @@ class Transport:
 
 
 class SocketTransport(Transport):
-    """Buffered line framing over a TCP socket."""
+    """Buffered line framing over a TCP socket, with peer-death deadlines.
 
-    def __init__(self, sock: socket.socket):
+    The framing buffer is explicit (no ``makefile`` object), so a socket
+    timeout mid-line never loses the partial bytes already received —
+    the next ``recv_line`` picks up exactly where the wire left off.
+
+    ``recv_deadline_s`` bounds how long one ``recv_line`` waits in total
+    before declaring the peer dead (:class:`SessionClosed` frees the
+    session).  ``heartbeat_interval_s`` wakes the :attr:`on_idle` hook
+    while waiting, so the session can probe a silent peer with ``PING``
+    — a broken connection then fails the *send* immediately instead of
+    wedging in ``recv`` until the deadline.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 recv_deadline_s: Optional[float] = None,
+                 heartbeat_interval_s: Optional[float] = None):
         self.sock = sock
+        self.recv_deadline_s = recv_deadline_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        #: Idle probe, fired after each silent heartbeat interval; may
+        #: raise :class:`SessionClosed` to drop a dead peer.
+        self.on_idle: Optional[Callable[[], None]] = None
         try:
             # The protocol is many tiny request/response lines per tick;
             # Nagle + delayed ACK would add ~40ms to every exchange.
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
             pass  # non-TCP transports (unix sockets, socketpairs)
-        self._rfile = sock.makefile("rb")
+        self._buf = bytearray()
 
     def send_line(self, line: str) -> None:
         try:
+            # The recv deadline doubles as the send deadline: a peer that
+            # stops draining its socket is as dead as one that stops
+            # talking.
+            self.sock.settimeout(self.recv_deadline_s)
             self.sock.sendall(line.encode("utf-8") + b"\n")
         except OSError:
             raise SessionClosed("send failed") from None
 
-    def recv_line(self) -> str:
+    def send_raw(self, text: str) -> None:
+        """Send bytes with *no* newline — the torn-write seam chaos
+        testing uses to leave a half-line in the peer's framing buffer."""
         try:
-            raw = self._rfile.readline(MAX_LINE_BYTES + 2)
-        except (OSError, ValueError):
-            raise SessionClosed("recv failed") from None
-        if not raw:
-            raise SessionClosed("EOF")
-        if len(raw) > MAX_LINE_BYTES:
-            # Poison line: report once, then drop the peer (resynchronizing
-            # inside an oversized line is guesswork).
-            raise ProtocolError("proto",
-                                f"line exceeds {MAX_LINE_BYTES} bytes")
-        return raw.decode("utf-8", errors="replace").rstrip("\r\n")
+            self.sock.settimeout(self.recv_deadline_s)
+            self.sock.sendall(text.encode("utf-8"))
+        except OSError:
+            raise SessionClosed("send failed") from None
+
+    def recv_line(self) -> str:
+        waited = 0.0
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl >= 0:
+                raw = bytes(self._buf[:nl])
+                del self._buf[:nl + 1]
+                if len(raw) > MAX_LINE_BYTES:
+                    raise ProtocolError(
+                        "toobig", f"line exceeds {MAX_LINE_BYTES} bytes")
+                return raw.decode("utf-8", errors="replace").rstrip("\r")
+            if len(self._buf) > MAX_LINE_BYTES:
+                # Poison flood with no newline in sight: report once,
+                # then drop the peer (resynchronizing is guesswork).
+                raise ProtocolError(
+                    "toobig", f"line exceeds {MAX_LINE_BYTES} bytes")
+            interval = self.heartbeat_interval_s
+            if interval is None or (self.recv_deadline_s is not None
+                                    and self.recv_deadline_s < interval):
+                interval = self.recv_deadline_s
+            try:
+                self.sock.settimeout(interval)
+                chunk = self.sock.recv(65536)
+            except socket.timeout:
+                waited += interval or 0.0
+                if (self.recv_deadline_s is not None
+                        and waited >= self.recv_deadline_s):
+                    raise SessionClosed(
+                        f"peer silent for {waited:.0f}s "
+                        "(recv deadline)") from None
+                if self.on_idle is not None:
+                    self.on_idle()
+                continue
+            except (OSError, ValueError):
+                raise SessionClosed("recv failed") from None
+            if not chunk:
+                raise SessionClosed("EOF")
+            self._buf += chunk
 
     def close(self) -> None:
         try:
-            self._rfile.close()
             self.sock.close()
         except OSError:
             pass
 
 
 class _RunState:
-    """Session state scoped to one RUN: JCPL buffer + GETS counters."""
+    """Session state scoped to one RUN: JCPL buffer + GETS counters,
+    plus the resume bookkeeping (decision record + replay cursor)."""
 
-    __slots__ = ("oar_started", "oar_completed", "ticks", "decided")
+    __slots__ = ("oar_started", "oar_completed", "ticks", "decided",
+                 "record", "replay", "replayed")
 
-    def __init__(self):
+    def __init__(self, record: Optional[RunRecord] = None):
         self.oar_started = 0
         self.oar_completed = 0
         self.ticks = 0
         self.decided = 0
+        self.record = record
+        #: Committed ticks to re-apply silently before going interactive
+        #: (a snapshot — the record keeps growing as new ticks commit).
+        self.replay: list[list[tuple[str, str]]] = \
+            list(record.ticks) if record is not None else []
+        self.replayed = 0
 
 
 class Session:
     """The protocol state machine for one connection."""
 
     def __init__(self, transport: Transport, campaigns=None,
-                 server_name: str = "repro-sim"):
+                 server_name: str = "repro-sim",
+                 runs: Optional[RunRegistry] = None):
         self.transport = transport
         self.campaigns = campaigns
         self.server_name = server_name
+        #: Shared across a service's sessions so RESM works from a fresh
+        #: connection; a private registry still allows same-session RESM.
+        self.runs = runs if runs is not None else RunRegistry()
         self.greeted = False
         self.client_name = "?"
         self._run: Optional[_RunState] = None
@@ -131,6 +207,11 @@ class Session:
 
     def _send(self, verb: str, *args: object) -> None:
         self.transport.send_line(encode(verb, *args))
+
+    def heartbeat(self) -> None:
+        """Idle probe: a PING the client ignores, but whose *send* fails
+        fast on a dead connection (wired as the transport's on_idle)."""
+        self._send("PING")
 
     def _err(self, exc: ProtocolError) -> None:
         self._send("ERR", exc.code, *exc.message.split())
@@ -148,7 +229,9 @@ class Session:
                 return decode(self.transport.recv_line())
             except ProtocolError as exc:
                 self._err(exc)
-                if exc.code == "proto" and "exceeds" in exc.message:
+                if exc.code == "toobig":
+                    # Resynchronizing inside an oversized line is
+                    # guesswork: report the dedicated code, then drop.
                     raise SessionClosed("oversized line") from None
 
     # -- main loop -------------------------------------------------------------
@@ -181,6 +264,8 @@ class Session:
             return False
         if verb == "RUN":
             self._do_run(msg)
+        elif verb == "RESM":
+            self._do_resm(msg)
         elif verb == "SUBM":
             self._do_subm(msg)
         elif verb == "RPRT":
@@ -207,8 +292,6 @@ class Session:
     # -- RUN: one remotely-scheduled campaign ----------------------------------
 
     def _do_run(self, msg: Message) -> None:
-        from .policy import ExternalProtocolStrategy  # cycle guard
-
         name, seed_text, months_text = msg.args
         try:
             spec = scenarios.get(name)
@@ -227,8 +310,43 @@ class Session:
                                     f"bad months {months_text!r}") from None
             if not months > 0:
                 raise ProtocolError("arg", "months must be positive")
+        record = self.runs.create(name, seed, months)
+        # The token travels before the first TICK so the client holds it
+        # even if the very next exchange dies.
+        self._send("OK", "run", record.token)
+        self._execute_run(spec, seed, months, record)
 
-        self._run = run = _RunState()
+    def _do_resm(self, msg: Message) -> None:
+        token = msg.args[0]
+        try:
+            record = self.runs.attach(token)
+        except KeyError:
+            raise ProtocolError("run",
+                                f"unknown run token {token!r}") from None
+        except ValueError as exc:
+            raise ProtocolError("state", str(exc)) from None
+        try:
+            spec = scenarios.get(record.scenario)
+        except KeyError:
+            self.runs.detach(record, "failed")
+            raise ProtocolError(
+                "arg", f"scenario {record.scenario!r} no longer "
+                "registered") from None
+        self._send("OK", "resume", token, f"replay={len(record.ticks)}")
+        self._execute_run(spec, record.seed, record.months, record)
+
+    def _execute_run(self, spec, seed: int, months: Optional[float],
+                     record: RunRecord) -> None:
+        """Run one (possibly resumed) campaign against this session.
+
+        Resume is replay: the scenario re-executes from scratch (cheap
+        and deterministic) while :meth:`decision_round` silently re-
+        applies the committed decision log, then switches to interactive
+        negotiation exactly where the previous connection died.
+        """
+        from .policy import ExternalProtocolStrategy  # cycle guard
+
+        self._run = run = _RunState(record)
 
         def on_builder(builder):
             builder.with_extra(
@@ -243,14 +361,22 @@ class Session:
         try:
             _, report = run_scenario(spec, seed=seed, months=months,
                                      on_built=on_built, on_builder=on_builder)
-        except (SessionClosed, ProtocolError):
+        except SessionClosed:
+            # The peer died mid-run: keep the record resumable.
+            self.runs.detach(record, "disconnected")
+            raise
+        except ProtocolError:
+            self.runs.detach(record, "failed")
             raise
         except Exception as exc:  # a sim bug must not take the server down
+            self.runs.detach(record, "failed")
             raise ProtocolError("run", f"campaign failed: {exc!r}") from exc
         finally:
             self._run = None
         self._last_report = report
-        self._send("DONE", "run", name, f"seed={seed}",
+        record.report = report
+        self.runs.detach(record, "done")
+        self._send("DONE", "run", spec.name, f"seed={seed}",
                    f"ticks={run.ticks}", f"decisions={run.decided}")
 
     def decision_round(self, view, due, completions) -> None:
@@ -262,6 +388,9 @@ class Session:
         run = self._run
         assert run is not None
         run.ticks += 1
+        if run.replayed < len(run.replay):
+            self._replay_round(view, due, run)
+            return
         now = view.now
         self._send("TICK", format_time_arg(now), len(completions), len(due))
         for (t, cell_id, status) in completions:
@@ -275,12 +404,17 @@ class Session:
                        cell.cluster if cell.cluster is not None else "-",
                        cell.family.nodes_needed, view.in_flight(cell.site),
                        alive, free, cell.runs, cell.blocked_attempts)
+        decided: list[tuple[str, str]] = []
         while True:
             msg = self._recv()
             verb = msg.verb
             try:
                 if verb == "REDY":
                     run.decided += len(due) - len(undecided)
+                    if run.record is not None:
+                        # Commit point: only REDY-complete ticks replay on
+                        # RESM; a tick abandoned mid-round is renegotiated.
+                        run.record.ticks.append(decided)
                     self._send("OK", "tick", "complete")
                     return
                 if verb in ("SCHD", "DEFR"):
@@ -293,6 +427,7 @@ class Session:
                         view.launch(cell)
                     else:
                         view.defer(cell)
+                    decided.append((msg.args[0], verb))
                     self._send("OK", verb.lower(), msg.args[0])
                 elif verb == "GETS":
                     self._do_gets(msg, view)
@@ -304,6 +439,30 @@ class Session:
                                         f"{verb} not valid inside a tick")
             except ProtocolError as exc:
                 self._err(exc)
+
+    def _replay_round(self, view, due, run: _RunState) -> None:
+        """Silently re-apply one committed tick of a resumed run.
+
+        No wire traffic: the client only rejoins the conversation once
+        the replay cursor catches up with where the old connection died.
+        A mismatch between the recorded decisions and the re-simulated
+        due set means the world diverged — impossible while scenarios are
+        deterministic — and fails the run loudly rather than guessing.
+        """
+        decisions = run.replay[run.replayed]
+        run.replayed += 1
+        index = {str(view.cell_id(cell)): cell for cell in due}
+        for cid, action in decisions:
+            cell = index.pop(cid, None)
+            if cell is None:
+                raise ProtocolError(
+                    "internal", f"resume replay desynchronized: cell {cid} "
+                    "not due at the recorded tick")
+            if action == "SCHD":
+                view.launch(cell)
+            else:
+                view.defer(cell)
+        run.decided += len(decisions)
 
     def _do_gets(self, msg: Message, view) -> None:
         what = msg.args[0]
@@ -362,9 +521,24 @@ class Session:
             self._send("RPRT", _sha256(canonical_json(docs)))
             self._data_block([canonical_json(doc) for doc in docs])
             return
-        if self._last_report is None:
+        if msg.args:
+            # ``RPRT <token>``: recover a finished run's report from any
+            # connection — the one that ran it may have died between
+            # DONE and the fetch.
+            record = self.runs.get(msg.args[0])
+            if record is None:
+                raise ProtocolError("run",
+                                    f"unknown run token {msg.args[0]!r}")
+            if record.report is None:
+                raise ProtocolError("state",
+                                    f"run {record.token} has no report "
+                                    f"(status {record.status})")
+            report = record.report
+        elif self._last_report is None:
             raise ProtocolError("state", "no report yet (RUN first)")
-        body = canonical_json(self._last_report.to_dict())
+        else:
+            report = self._last_report
+        body = canonical_json(report.to_dict())
         self._send("RPRT", _sha256(body))
         self._data_block([body])
 

@@ -208,22 +208,29 @@ def append_jsonl(path: Union[str, "os.PathLike[str]"], doc: Any) -> None:
         os.fsync(fh.fileno())
 
 
-def iter_jsonl(path: Union[str, "os.PathLike[str]"]) -> Iterator[Any]:
+def iter_jsonl(path: Union[str, "os.PathLike[str]"],
+               on_skip: Any = None) -> Iterator[Any]:
     """Yield documents from a JSONL file, skipping blank or damaged lines.
 
     Torn lines from killed writers are expected artifacts: usually the
     final line, but a later append seals a torn tail with a newline, so a
     partial record can also sit mid-file.  Unparseable lines lose only
-    themselves, never the archive.
+    themselves, never the archive.  ``on_skip(line_number, reason)``, when
+    given, is invoked for every damaged (non-blank, unparseable) line so
+    callers can count data loss instead of silently absorbing it.
     """
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+    # errors="replace": a line of flipped bytes must damage that line
+    # (it fails JSON parsing), not crash the read of the whole archive.
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 yield json.loads(line)
-            except json.JSONDecodeError:
+            except json.JSONDecodeError as exc:
+                if on_skip is not None:
+                    on_skip(lineno, str(exc))
                 continue
 
 

@@ -1,0 +1,50 @@
+"""ERR302 fixture: unbounded sleep-loop positives and negatives."""
+
+import time
+import time as t
+from time import sleep
+
+
+def positives(transport, state):
+    while True:
+        transport.poll()
+        time.sleep(0.05)  # EXPECT(ERR302)
+    while not state.done:  # no Compare: `not x` bounds nothing
+        time.sleep(0.1)  # EXPECT(ERR302)
+    while True:
+        t.sleep(0.05)  # EXPECT(ERR302) — aliased module
+    while True:
+        sleep(0.05)  # EXPECT(ERR302) — from-import
+
+
+def nested_unbounded(transport):
+    while True:
+        while True:
+            time.sleep(0.01)  # EXPECT(ERR302) — flagged once, not per loop
+            transport.poll()
+
+
+def negatives(transport, waiting, active, deadline, retries):
+    while time.monotonic() < deadline:  # bounded by a deadline
+        time.sleep(0.05)
+    while len(waiting) + len(active) > 0:  # bounded by work remaining
+        time.sleep(0.02)
+    attempt = 0
+    while attempt < retries:  # bounded by an attempt cap
+        attempt += 1
+        time.sleep(0.05)
+    for _ in range(retries):  # a for-loop is finite by construction
+        time.sleep(0.05)
+    time.sleep(0.5)  # straight-line sleep: a pause, not a spin
+    while True:
+        line = transport.recv_line()  # blocking recv, no sleep: fine
+        if line:
+            return line
+
+
+def closure_is_not_the_loop(queue):
+    while True:
+        def later():  # nested def: its sleep is not this loop's wait
+            time.sleep(1.0)
+        queue.put(later)
+        return queue

@@ -32,6 +32,7 @@ FIXTURE_FILES = {
     "KRN101": FIXTURES / "plain" / "krn101_cases.py",
     "SER201": FIXTURES / "plain" / "ser201_cases.py",
     "ERR301": FIXTURES / "service" / "err301_cases.py",
+    "ERR302": FIXTURES / "service" / "err302_cases.py",
     "PRF401": FIXTURES / "scheduling" / "prf401_cases.py",
 }
 

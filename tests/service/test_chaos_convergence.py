@@ -1,0 +1,167 @@
+"""Chaos convergence: seeded fault schedules cannot change the bytes.
+
+The resilience acceptance criterion: a :class:`ReferenceClient` whose
+every connection is wrapped in a :class:`ChaosTransport` — one seeded
+schedule of connection drops, line splits, duplicates, garbage and delays
+shared across reconnects — still finishes the run, and the recovered
+report is byte-identical (same sha256) to a clean in-process run.  Once
+the plan's fault budget drains the wire turns transparent, so every
+schedule converges; faults only cost retries, never bytes.
+
+Set ``CHAOS_LOG_DIR`` to dump each schedule's injected-fault log as
+JSONL — the artifact the CI ``chaos-smoke`` job uploads.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro import run_scenario, scenarios
+from repro.service import (
+    ChaosConfig,
+    ChaosPlan,
+    ChaosTransport,
+    ReferenceClient,
+    SimulatorService,
+)
+from repro.service.session import SessionClosed, Transport
+
+SCENARIO = "tiny-smoke"
+SEED = 0
+MONTHS = 0.05
+#: Distinct seeded fault schedules the suite must survive (acceptance
+#: floor is 20).
+N_SCHEDULES = 20
+
+_CLEAN: dict = {}
+_INJECTED_TOTAL = [0]
+
+
+def clean_hash() -> str:
+    """sha256 of the undisturbed in-process report (computed once)."""
+    if "sha" not in _CLEAN:
+        _, report = run_scenario(scenarios.get(SCENARIO), seed=SEED,
+                                 months=MONTHS)
+        doc = json.dumps(report.to_dict(), sort_keys=True,
+                         separators=(",", ":"))
+        _CLEAN["sha"] = hashlib.sha256(doc.encode("utf-8")).hexdigest()
+    return _CLEAN["sha"]
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    store = tmp_path_factory.mktemp("chaos") / "store.jsonl"
+    svc = SimulatorService(port=0, store=str(store))
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+def _dump_chaos_log(chaos_seed: int, plan: ChaosPlan) -> None:
+    """One JSONL file per schedule when CHAOS_LOG_DIR is set (CI)."""
+    log_dir = os.environ.get("CHAOS_LOG_DIR")
+    if not log_dir:
+        return
+    os.makedirs(log_dir, exist_ok=True)
+    path = os.path.join(log_dir, f"chaos-seed-{chaos_seed}.jsonl")
+    with open(path, "w", encoding="utf-8") as fh:
+        for doc in plan.log_docs():
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("chaos_seed", range(N_SCHEDULES))
+def test_fault_schedule_converges(service, chaos_seed):
+    plan = ChaosPlan(ChaosConfig(seed=chaos_seed, fault_rate=0.35,
+                                 max_faults=8, delay_s=0.002))
+    host, port = service.address
+    client = ReferenceClient(
+        host, port, name=f"chaos-{chaos_seed}", timeout_s=15.0,
+        retries=plan.config.max_faults + 4,
+        backoff_base_s=0.002, backoff_cap_s=0.02, backoff_seed=chaos_seed,
+        transport_wrap=lambda t: ChaosTransport(t, plan))
+    try:
+        result = client.run_scenario(SCENARIO, seed=SEED, months=MONTHS)
+    finally:
+        client.close()
+        _dump_chaos_log(chaos_seed, plan)
+    _INJECTED_TOTAL[0] += plan.injected
+    assert result["ticks"] > 0
+    assert result["sha256"] == clean_hash()
+
+
+def test_schedules_actually_injected_faults():
+    """Guard against silently-transparent chaos: across the schedules at
+    least one fault per schedule must have fired on average (in practice
+    nearly every schedule drains its whole budget)."""
+    assert _INJECTED_TOTAL[0] >= N_SCHEDULES
+
+
+class _DropAtTick(Transport):
+    """Deterministically kill the connection at the Nth TICK delivered.
+
+    ``fuse`` is a shared one-element list so the countdown survives the
+    client's reconnect (the replacement transport must not re-arm it).
+    """
+
+    def __init__(self, inner: Transport, fuse: list):
+        self.inner = inner
+        self.fuse = fuse
+
+    def recv_line(self) -> str:
+        line = self.inner.recv_line()
+        if self.fuse[0] is not None and line.startswith("TICK"):
+            self.fuse[0] -= 1
+            if self.fuse[0] <= 0:
+                self.fuse[0] = None  # one-shot
+                self.inner.close()
+                raise SessionClosed("scripted disconnect at TICK")
+        return line
+
+    def send_line(self, line: str) -> None:
+        self.inner.send_line(line)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def test_mid_run_disconnect_resumes_same_token(tmp_path):
+    """A scripted mid-run drop recovers via RESM, not a fresh RUN: the
+    registry holds exactly one record and the bytes still match."""
+    with SimulatorService(port=0, store=str(tmp_path / "store.jsonl")) as svc:
+        fuse = [2]  # die on the second TICK: token + one committed round
+        wrapped = []
+
+        def wrap(transport):
+            wrapped.append(transport)
+            return _DropAtTick(transport, fuse)
+
+        host, port = svc.address
+        with ReferenceClient(host, port, timeout_s=10.0, retries=2,
+                             backoff_base_s=0.001, backoff_cap_s=0.01,
+                             transport_wrap=wrap) as client:
+            result = client.run_scenario(SCENARIO, seed=SEED, months=MONTHS)
+        assert result["sha256"] == clean_hash()
+        assert len(wrapped) == 2, "expected exactly one reconnect"
+        assert len(svc.runs) == 1, "resume must reuse the issued token"
+
+
+def test_chaos_log_records_every_injection(service):
+    """The plan's event log is the CI artifact: one entry per fault, each
+    JSON-ready with op ordinal, direction and a catalogued kind."""
+    plan = ChaosPlan(ChaosConfig(seed=99, fault_rate=0.5, max_faults=6,
+                                 delay_s=0.001))
+    host, port = service.address
+    with ReferenceClient(host, port, name="chaos-log", timeout_s=15.0,
+                         retries=10, backoff_base_s=0.001,
+                         backoff_cap_s=0.01,
+                         transport_wrap=lambda t: ChaosTransport(t, plan)
+                         ) as client:
+        client.run_scenario(SCENARIO, seed=SEED, months=MONTHS)
+    docs = plan.log_docs()
+    assert len(docs) == plan.injected
+    assert 0 < plan.injected <= plan.config.max_faults
+    for doc in docs:
+        assert set(doc) == {"op", "direction", "kind", "detail"}
+        assert doc["direction"] in ("recv", "send")

@@ -18,6 +18,7 @@ EVERY_VERB = [
     ("HELO", (PROTOCOL_VERSION, "refclient")),
     ("HELO", (PROTOCOL_VERSION,)),
     ("RUN", ("tiny-smoke", "0", "0.35")),
+    ("RESM", ("run-7",)),
     ("GETS", ("servers",)),
     ("SCHD", ("17",)),
     ("DEFR", ("4",)),
@@ -30,6 +31,8 @@ EVERY_VERB = [
     ("OK", ("tick", "complete")),
     ("OK", ()),
     ("ERR", ("arg", "unknown", "scenario")),
+    ("PING", ()),
+    ("PING", ("432000.0",)),
     ("TICK", ("432000.0", "2", "5")),
     ("JCPL", ("431700.5", "3", "SUCCESS")),
     ("JOBN", ("3", "hardware", "nancy", "graphene", "ALL",
@@ -77,10 +80,12 @@ MALFORMED = [
     ("SUBM", "arity"),                   # rawtail verb with empty tail
     (". done", "arity"),                 # terminator takes nothing
     ("ERR", "arity"),                    # ERR needs at least a code
+    ("RESM", "arity"),                   # RESM needs its run token
+    ("SUBM " + "x" * MAX_LINE_BYTES, "toobig"),  # oversized line
 ]
 
 
-@pytest.mark.parametrize("line,code", MALFORMED, ids=[m[0] or "<empty>"
+@pytest.mark.parametrize("line,code", MALFORMED, ids=[m[0][:24] or "<empty>"
                                                       for m in MALFORMED])
 def test_malformed_lines_raise_typed_errors(line, code):
     with pytest.raises(ProtocolError) as exc_info:
@@ -92,9 +97,10 @@ def test_oversized_line_rejected_both_ways():
     huge = "x" * (MAX_LINE_BYTES + 1)
     with pytest.raises(ProtocolError) as exc_info:
         decode("SUBM " + huge)
-    assert exc_info.value.code == "proto"
-    with pytest.raises(ProtocolError):
+    assert exc_info.value.code == "toobig"
+    with pytest.raises(ProtocolError) as exc_info:
         encode("SUBM", huge)
+    assert exc_info.value.code == "toobig"
 
 
 def test_encode_rejects_newlines_and_unknown_verbs():
